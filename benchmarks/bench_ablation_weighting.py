@@ -1,0 +1,62 @@
+"""Ablation: the dynamic weighting scheme of Section III-B.
+
+DESIGN.md calls out the weighting as the design choice to ablate:
+``w_mi = w_sigma * w_d`` combines a scale term (1/sigma) and a Fisher
+discrimination term (max of inter-concept and intra-classifier
+variation).  This bench runs FiCSUM with weighting "none" (plain
+cosine), "sigma" only, "fisher" only, and "full" on one dataset from
+each drift family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+from _harness import BENCH_CONFIG, mean_std, render_table, run_seeds, save_table
+
+MODES = ["none", "sigma", "fisher", "full"]
+DATASETS = ["STAGGER", "Arabic", "RTREE-U"]
+
+
+def run_ablation() -> dict:
+    results = {}
+    for dataset in DATASETS:
+        per_mode = {}
+        for mode in MODES:
+            cfg = replace(BENCH_CONFIG, weighting=mode)
+            per_mode[mode] = run_seeds("ficsum", dataset, config=cfg, oracle=True)
+        results[dataset] = per_mode
+    return results
+
+
+def build_table(results: dict) -> str:
+    rows = []
+    for dataset, per_mode in results.items():
+        cells = [dataset]
+        for mode in MODES:
+            km, _ = mean_std(r.kappa for r in per_mode[mode])
+            cm, _ = mean_std(r.c_f1 for r in per_mode[mode])
+            cells.append(f"{km:.2f}/{cm:.2f}")
+        rows.append(cells)
+    return render_table(
+        "Ablation: dynamic weighting (kappa/C-F1, oracle drift)",
+        ["Dataset"] + MODES,
+        rows,
+        notes=(
+            "Expected: 'none' dilutes the informative dimensions "
+            "(hundreds of equally-weighted meta-features), most visibly "
+            "on datasets where few dimensions carry the concept signal; "
+            "'full' should match or beat the single-term variants."
+        ),
+    )
+
+
+def test_ablation_weighting(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    content = build_table(results)
+    save_table("ablation_weighting.txt", content)
+
+    for dataset, per_mode in results.items():
+        full = np.mean([r.c_f1 for r in per_mode["full"]])
+        assert full > 0.25, f"full weighting collapsed on {dataset}"

@@ -1,0 +1,85 @@
+"""Figure 3: sensitivity to P_C, buffer ratio, window size and P_S.
+
+On the Arabic stand-in, each panel varies one parameter and reports
+accuracy, runtime and C-F1 *relative to a base level* — exactly the
+quantity plotted in the paper's Figure 3.
+
+Paper shape: window size has the largest effect on performance;
+lowering P_C / P_S buys accuracy at a (roughly linear) runtime cost;
+buffer ratio shows a shallow optimum around 0.25.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+from _harness import BENCH_CONFIG, render_table, run_cached, save_table
+
+DATASET = "Arabic"
+
+PANELS = {
+    # parameter -> (base value, sweep values); bases mirror the paper's
+    # reference levels (P_C 1 -> here the smallest bench value, w 50,
+    # buffer 0.05, P_S 5 -> smallest bench values).
+    "fingerprint_period": (5, [5, 10, 20, 40]),
+    "buffer_ratio": (0.05, [0.05, 0.1, 0.25, 0.4, 0.5]),
+    "window_size": (50, [25, 50, 75, 100]),
+    "repository_period": (30, [30, 60, 150, 300]),
+}
+
+
+def run_figure3() -> dict:
+    results = {}
+    for param, (base_value, values) in PANELS.items():
+        panel = {}
+        for value in values:
+            cfg = replace(BENCH_CONFIG, **{param: value})
+            panel[value] = run_cached("ficsum", DATASET, seed=1, config=cfg)
+        results[param] = (base_value, panel)
+    return results
+
+
+def build_table(results: dict) -> str:
+    parts = []
+    for param, (base_value, panel) in results.items():
+        base = panel[base_value]
+        rows = []
+        for value, run in panel.items():
+            rows.append(
+                [
+                    str(value),
+                    f"{run.accuracy / max(base.accuracy, 1e-9):.3f}",
+                    f"{run.runtime_s / max(base.runtime_s, 1e-9):.3f}",
+                    f"{run.c_f1 / max(base.c_f1, 1e-9):.3f}",
+                ]
+            )
+        parts.append(
+            render_table(
+                f"Figure 3 panel: {param} (relative to {param}={base_value})",
+                [param, "rel. accuracy", "rel. runtime", "rel. C-F1"],
+                rows,
+            )
+        )
+    parts.append(
+        "Paper shape: performance is flat in P_C/P_S apart from runtime "
+        "(smaller period = slower), the window-size panel moves the most, "
+        "and buffer ratio has a shallow optimum.\n"
+    )
+    return "\n".join(parts)
+
+
+def test_fig3_sensitivity(benchmark):
+    results = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    content = build_table(results)
+    save_table("fig3_sensitivity.txt", content)
+
+    # Runtime must fall as the fingerprint period grows (paper: the
+    # P_C panel's runtime series decreases monotonically).
+    _, panel = results["fingerprint_period"]
+    runtimes = [run.runtime_s for run in panel.values()]
+    assert runtimes[0] > runtimes[-1], "P_C sweep shows no runtime saving"
+    # Accuracy must stay within a sane band across the whole sweep.
+    for param, (_, panel) in results.items():
+        accs = [run.accuracy for run in panel.values()]
+        assert min(accs) > 0.3, f"{param} sweep produced degenerate accuracy"

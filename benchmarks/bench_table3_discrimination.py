@@ -1,0 +1,97 @@
+"""Table III: discrimination ability of ER / S-MI / U-MI / FiCSUM.
+
+For every dataset, each system's discrimination-ability samples
+(z-score gap between the true concept's similarity and the
+alternatives', collected at repository checkpoints) are summarised as
+"mean (std)".  The paper's shape: FiCSUM ranks first on most datasets;
+U-MI is weak where drift is in p(y|X) (AQSex, STAGGER, RBF, RTREE);
+ER/S-MI are weak where drift is in p(X) (Arabic, UCI-Wine, RTREE-U).
+
+Runs use oracle drift signals so that the repository reliably contains
+one state per concept — Table III isolates the *representation*, not
+the detector (the paper's supplementary material does the same for
+model selection).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _harness import cell, render_table, run_seeds, save_table
+
+from repro.evaluation.discrimination import summarize_discrimination
+from repro.streams.datasets import PAPER_DATASETS
+
+SYSTEMS = ["er", "smi", "umi", "ficsum"]
+HEADER = ["Dataset", "ER", "S-MI", "U-MI", "FiCSUM", "best"]
+
+#: Paper Table III winners per dataset (bolded entries).
+PAPER_BEST = {
+    "AQSex": "FiCSUM",
+    "AQTemp": "FiCSUM",
+    "STAGGER": "ER",
+    "RTREE": "ER",
+    "RBF": "FiCSUM",
+    "Arabic": "FiCSUM",
+    "CMC": "FiCSUM",
+    "HPLANE-U": "FiCSUM",
+    "QG": "S-MI",
+    "RTREE-U": "FiCSUM",
+    "UCI-Wine": "FiCSUM",
+}
+
+
+def run_table3() -> dict:
+    results = {}
+    for dataset in PAPER_DATASETS:
+        row = {}
+        for system in SYSTEMS:
+            samples = []
+            for run in run_seeds(system, dataset, oracle=True):
+                samples.extend(run.discrimination)
+            row[system] = summarize_discrimination(samples)
+        results[dataset] = row
+    return results
+
+
+def build_table(results: dict) -> str:
+    rows = []
+    for dataset, row in results.items():
+        means = {s: row[s].mean if row[s].n_samples else -np.inf for s in SYSTEMS}
+        best = max(means, key=means.get)
+        rows.append(
+            [dataset]
+            + [cell(row[s].mean, row[s].std, clip=500.0) for s in SYSTEMS]
+            + [f"{best} (paper: {PAPER_BEST[dataset]})"]
+        )
+    return render_table(
+        "Table III: discrimination ability (z-score gap, mean (std))",
+        HEADER,
+        rows,
+        notes=(
+            "Shape check vs paper: FiCSUM should rank first on most "
+            "datasets; ER dominates STAGGER/RTREE (label-function drift "
+            "shows up almost entirely in error rate); U-MI trails on "
+            "p(y|X)-drift datasets and S-MI/ER trail on p(X)-drift "
+            "datasets.  Magnitudes are normalisation-dependent (the "
+            "paper prints >500 for outliers for the same reason)."
+        ),
+    )
+
+
+def test_table3_discrimination(benchmark):
+    results = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    content = build_table(results)
+    save_table("table3_discrimination.txt", content)
+
+    # Headline shape assertions (soft — single-seed bench runs).
+    ficsum_wins = sum(
+        1
+        for dataset, row in results.items()
+        if row["ficsum"].n_samples
+        and row["ficsum"].mean
+        >= max(row[s].mean for s in ("er", "smi", "umi") if row[s].n_samples)
+        * 0.5
+    )
+    assert ficsum_wins >= len(results) // 2, (
+        "FiCSUM discrimination collapsed on most datasets"
+    )

@@ -1,0 +1,120 @@
+"""Table IV: kappa and C-F1 of ER / S-MI / U-MI / FiCSUM on 11 datasets.
+
+The paper's central result: restricted representations fail on the
+dataset family they are blind to (U-MI on p(y|X)-drift, ER/S-MI on
+p(X)-drift) while FiCSUM stays competitive everywhere; FiCSUM achieves
+the best average rank on both measures, and a Friedman + Nemenyi test
+confirms significance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _harness import cell, mean_std, render_table, run_seeds, save_table
+
+from repro.evaluation.stats import friedman_test, nemenyi_cd
+from repro.streams.datasets import PAPER_DATASETS, dataset_info
+
+SYSTEMS = ["er", "smi", "umi", "ficsum"]
+LABELS = {"er": "ER", "smi": "S-MI", "umi": "U-MI", "ficsum": "FiCSUM"}
+
+#: kappa / C-F1 from the paper's Table IV (for the side-by-side print).
+PAPER_TABLE4 = {
+    "AQSex": {"er": (0.93, 0.51), "smi": (0.90, 0.41), "umi": (0.71, 0.65), "ficsum": (0.94, 0.75)},
+    "AQTemp": {"er": (0.58, 0.65), "smi": (0.50, 0.49), "umi": (0.36, 0.63), "ficsum": (0.47, 0.72)},
+    "STAGGER": {"er": (0.98, 0.98), "smi": (0.97, 0.94), "umi": (0.41, 0.48), "ficsum": (0.97, 0.91)},
+    "RBF": {"er": (0.75, 0.82), "smi": (0.72, 0.67), "umi": (0.68, 0.53), "ficsum": (0.73, 0.73)},
+    "RTREE": {"er": (0.93, 0.76), "smi": (0.79, 0.50), "umi": (0.34, 0.30), "ficsum": (0.94, 0.74)},
+    "Arabic": {"er": (0.86, 0.57), "smi": (0.77, 0.38), "umi": (0.85, 0.85), "ficsum": (0.86, 0.85)},
+    "CMC": {"er": (0.21, 0.56), "smi": (0.22, 0.61), "umi": (0.25, 0.80), "ficsum": (0.27, 0.76)},
+    "HPLANE-U": {"er": (0.43, 0.31), "smi": (0.42, 0.28), "umi": (0.44, 0.95), "ficsum": (0.44, 0.75)},
+    "QG": {"er": (0.66, 0.36), "smi": (0.59, 0.32), "umi": (0.73, 0.52), "ficsum": (0.72, 0.52)},
+    "RTREE-U": {"er": (0.73, 0.53), "smi": (0.68, 0.47), "umi": (0.81, 0.95), "ficsum": (0.80, 0.91)},
+    "UCI-Wine": {"er": (0.20, 0.54), "smi": (0.18, 0.51), "umi": (0.23, 0.73), "ficsum": (0.23, 0.92)},
+}
+
+
+def run_table4() -> dict:
+    results = {}
+    for dataset in PAPER_TABLE4:
+        results[dataset] = {
+            system: run_seeds(system, dataset) for system in SYSTEMS
+        }
+    return results
+
+
+def build_tables(results: dict) -> str:
+    kappa_rows, cf1_rows = [], []
+    kappa_matrix, cf1_matrix = [], []
+    for dataset, by_system in results.items():
+        kappa_cells, cf1_cells = [dataset], [dataset]
+        kappa_line, cf1_line = [], []
+        for system in SYSTEMS:
+            runs = by_system[system]
+            km, ks = mean_std(r.kappa for r in runs)
+            cm, cs = mean_std(r.c_f1 for r in runs)
+            paper_k, paper_c = PAPER_TABLE4[dataset][system]
+            kappa_cells.append(f"{cell(km, ks)} [{paper_k:.2f}]")
+            cf1_cells.append(f"{cell(cm, cs)} [{paper_c:.2f}]")
+            kappa_line.append(km)
+            cf1_line.append(cm)
+        kappa_rows.append(kappa_cells)
+        cf1_rows.append(cf1_cells)
+        kappa_matrix.append(kappa_line)
+        cf1_matrix.append(cf1_line)
+
+    kappa_matrix = np.array(kappa_matrix)
+    cf1_matrix = np.array(cf1_matrix)
+    kappa_test = friedman_test(kappa_matrix)
+    cf1_test = friedman_test(cf1_matrix)
+    cd = nemenyi_cd(len(SYSTEMS), len(results))
+
+    header = ["Dataset"] + [f"{LABELS[s]} [paper]" for s in SYSTEMS]
+    parts = [
+        render_table("Table IV (kappa): measured (std) [paper]", header, kappa_rows),
+        render_table("Table IV (C-F1): measured (std) [paper]", header, cf1_rows),
+        render_table(
+            "Table IV: average ranks (1 = best)",
+            ["measure"] + [LABELS[s] for s in SYSTEMS] + ["Friedman p", "Nemenyi CD"],
+            [
+                ["kappa"]
+                + [f"{r:.2f}" for r in kappa_test.ranks]
+                + [f"{kappa_test.p_value:.4f}", f"{cd:.2f}"],
+                ["C-F1"]
+                + [f"{r:.2f}" for r in cf1_test.ranks]
+                + [f"{cf1_test.p_value:.4f}", f"{cd:.2f}"],
+            ],
+            notes=(
+                "Paper shape: U-MI fails on the p(y|X) group (top rows), "
+                "ER/S-MI fail on the p(X) group (bottom rows), FiCSUM "
+                "avoids both failure cases and wins the average rank on "
+                "C-F1."
+            ),
+        ),
+    ]
+    return "\n".join(parts)
+
+
+def test_table4_performance(benchmark):
+    results = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    content = build_tables(results)
+    save_table("table4_performance.txt", content)
+
+    def mean_metric(dataset, system, metric):
+        return float(
+            np.mean([getattr(r, metric) for r in results[dataset][system]])
+        )
+
+    # Failure-case shape: U-MI must trail badly on pure-p(y|X) STAGGER...
+    assert mean_metric("STAGGER", "umi", "kappa") < mean_metric(
+        "STAGGER", "ficsum", "kappa"
+    )
+    # ...and the unsupervised family must win C-F1 on injected-p(X) drift.
+    assert mean_metric("RTREE-U", "umi", "c_f1") > mean_metric(
+        "RTREE-U", "smi", "c_f1"
+    )
+    # FiCSUM must stay clear of the catastrophic failures on both sides.
+    assert mean_metric("STAGGER", "ficsum", "kappa") > 0.4
+    assert mean_metric("RTREE-U", "ficsum", "c_f1") > mean_metric(
+        "RTREE-U", "er", "c_f1"
+    ) * 0.7

@@ -1,0 +1,93 @@
+"""Table VI: FiCSUM vs adaptive frameworks (HTCD, RCD, ER, DWM, ARF).
+
+Paper shape: the ARF ensemble takes the best kappa on most datasets
+(ensembles beat single-classifier systems on raw accuracy), but the
+ensembles keep a single evolving representation — their C-F1 is the
+flat single-representation value — and HTCD's fresh-model-per-reset
+C-F1 is near 1/n_segments.  FiCSUM wins C-F1 nearly everywhere, and
+runtime is FiCSUM's cost: slower than the single-tree systems, in the
+same league as the heavyweight ensembles, far cheaper than RCD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _harness import cell, mean_std, render_table, run_seeds, save_table
+
+SYSTEMS = [
+    ("htcd", "HTCD"),
+    ("rcd", "RCD"),
+    ("er", "ER"),
+    ("dwm", "DWM"),
+    ("arf", "ARF"),
+    ("ficsum", "FiCSUM"),
+]
+
+DATASETS = [
+    "AQSex", "CMC", "UCI-Wine", "RBF", "RTREE-U",
+    "Arabic", "HPLANE-U", "QG", "STAGGER",
+]
+
+
+def run_table6() -> dict:
+    results = {}
+    for dataset in DATASETS:
+        results[dataset] = {
+            system: run_seeds(system, dataset) for system, _ in SYSTEMS
+        }
+    return results
+
+
+def build_tables(results: dict) -> str:
+    parts = []
+    for metric, title, digits in (
+        ("kappa", "Table VI (kappa statistic)", 2),
+        ("c_f1", "Table VI (C-F1)", 2),
+        ("runtime_s", "Table VI (runtime, seconds — relative ordering only)", 2),
+    ):
+        rows = []
+        for system, label in SYSTEMS:
+            cells = [label]
+            for dataset in DATASETS:
+                m, s = mean_std(
+                    getattr(r, metric) for r in results[dataset][system]
+                )
+                cells.append(cell(m, s, digits=digits))
+            rows.append(cells)
+        parts.append(render_table(title, ["Framework"] + DATASETS, rows))
+    parts.append(
+        "Paper shape: ARF leads kappa on most datasets; FiCSUM leads C-F1 "
+        "everywhere except STAGGER (where ER's error-rate representation "
+        "is near-perfect); HTCD C-F1 collapses to ~1/n_segments; RCD is "
+        "by far the slowest per unit of accuracy.\n"
+    )
+    return "\n".join(parts)
+
+
+def test_table6_frameworks(benchmark):
+    results = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    content = build_tables(results)
+    save_table("table6_frameworks.txt", content)
+
+    def mean_metric(dataset, system, metric):
+        return float(
+            np.mean([getattr(r, metric) for r in results[dataset][system]])
+        )
+
+    # Ensembles cannot track concepts: FiCSUM must beat DWM/ARF C-F1 on
+    # the p(X)-drift datasets where repository re-use pays off.
+    for dataset in ("UCI-Wine", "RTREE-U"):
+        assert mean_metric(dataset, "ficsum", "c_f1") > mean_metric(
+            dataset, "arf", "c_f1"
+        )
+        assert mean_metric(dataset, "ficsum", "c_f1") > mean_metric(
+            dataset, "dwm", "c_f1"
+        )
+    # HTCD cannot re-identify recurring concepts; FiCSUM's repository
+    # must beat it where detection is reliable.  (At laptop scale HTCD
+    # sometimes *misses* drifts entirely and coasts on one long-lived
+    # state, which inflates its C-F1 on the quieter datasets — the
+    # paper-scale collapse to ~1/n_segments needs its longer streams.)
+    assert mean_metric("STAGGER", "htcd", "c_f1") < mean_metric(
+        "STAGGER", "ficsum", "c_f1"
+    )

@@ -1,0 +1,79 @@
+"""Extending FiCSUM: restricted fingerprints and custom schemas.
+
+The paper's Section III-C argues the meta-information set is *general
+and flexible*: features can be added or removed without architectural
+changes, because the dynamic weighting learns each feature's relevance
+per dataset.  This example demonstrates the public knobs:
+
+1. running FiCSUM with a trimmed function set (only the cheap moment
+   features) for latency-sensitive deployments,
+2. inspecting the learned dynamic weights to see which (source,
+   function) dimensions the system considers discriminative,
+3. comparing against the full 13-function fingerprint.
+
+Run:  python examples/custom_metafeature.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Ficsum, FicsumConfig
+from repro.evaluation import prequential_run
+from repro.streams import make_dataset
+
+
+def run_variant(label: str, functions) -> None:
+    stream = make_dataset("RTREE-U", seed=4, segment_length=350, n_repeats=3)
+    config = FicsumConfig(
+        fingerprint_period=5,
+        repository_period=60,
+        functions=functions,
+    )
+    system = Ficsum(stream.meta.n_features, stream.meta.n_classes, config)
+    result = prequential_run(system, stream)
+    print(f"\n{label}")
+    print(f"  fingerprint dims : {system.n_dims}")
+    print(f"  kappa={result.kappa:.3f}  C-F1={result.c_f1:.3f}  "
+          f"runtime={result.runtime_s:.1f}s  drifts={result.n_drifts}")
+
+    weights = system.weights
+    schema = system.extractor.schema
+    top = np.argsort(weights)[::-1][:8]
+    print("  highest-weighted dimensions (source, function, weight):")
+    for dim in top:
+        source, function = schema.dims[dim]
+        print(f"    {source:12s} {function:16s} {weights[dim]:8.2f}")
+
+
+def main() -> None:
+    # 1) cheap moments-only fingerprint (4 functions per source)
+    run_variant(
+        "moments-only fingerprint (mean/std/skew/kurtosis)",
+        ["mean", "std", "skew", "kurtosis"],
+    )
+    # 2) temporal-only fingerprint (the functions Table V shows win
+    #    under autocorrelation/frequency drift)
+    run_variant(
+        "temporal fingerprint (acf/pacf/mi/turning/imf)",
+        [
+            "autocorrelation",
+            "partial_autocorrelation",
+            "mutual_information",
+            "turning_point_rate",
+            "imf_entropy",
+        ],
+    )
+    # 3) the full Table I set
+    run_variant("full FiCSUM fingerprint (13 functions)", None)
+
+    print(
+        "\nThe trimmed variants trade coverage for runtime; the dynamic "
+        "weights printed above show where each variant found its "
+        "discriminative signal (RTREE-U injects distribution + "
+        "autocorrelation + frequency drift into the features)."
+    )
+
+
+if __name__ == "__main__":
+    main()

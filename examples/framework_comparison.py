@@ -1,0 +1,52 @@
+"""Scenario: choosing an adaptive learner for a recurring-drift stream.
+
+Runs every framework of the paper's Table VI — HTCD (reset on drift),
+RCD (classifier pool + KS tests), DWM and ARF (ensembles), the
+error-rate-only ER variant, and FiCSUM — on the wine-quality stand-in
+(two strongly separated feature regimes sharing one weak labelling
+rule) and prints the kappa / C-F1 / runtime trade-off.
+
+Run:  python examples/framework_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.core import FicsumConfig
+from repro.evaluation import build_system, prequential_run
+from repro.streams import make_dataset
+
+SYSTEMS = [
+    ("htcd", "HTCD (HT + ADWIN reset)"),
+    ("rcd", "RCD (pool + KS test)"),
+    ("er", "ER (error-rate fingerprint)"),
+    ("dwm", "DWM (weighted experts)"),
+    ("arf", "ARF (adaptive forest)"),
+    ("ficsum", "FiCSUM"),
+]
+
+
+def main() -> None:
+    config = FicsumConfig(fingerprint_period=5, repository_period=60)
+    print(f"{'framework':32s} {'kappa':>7s} {'C-F1':>7s} {'states':>7s} "
+          f"{'runtime':>8s}")
+    for name, label in SYSTEMS:
+        stream = make_dataset(
+            "UCI-Wine", seed=3, segment_length=400, n_repeats=3
+        )
+        system = build_system(name, stream.meta, config=config, seed=3)
+        result = prequential_run(system, stream)
+        print(
+            f"{label:32s} {result.kappa:7.3f} {result.c_f1:7.3f} "
+            f"{result.n_states:7d} {result.runtime_s:7.1f}s"
+        )
+    print(
+        "\nReading the table: the ensembles may edge out single-tree "
+        "systems on kappa but track nothing (one evolving representation "
+        "-> low C-F1); HTCD burns a fresh state per reset; FiCSUM's "
+        "repository re-identifies the two wine regimes, which is the "
+        "paper's Table VI story."
+    )
+
+
+if __name__ == "__main__":
+    main()

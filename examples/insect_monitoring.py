@@ -1,0 +1,64 @@
+"""Scenario: insect-monitoring sensors with recurring environments.
+
+The paper's motivating real-world streams (AQSex / AQTemp) come from
+optical wing-beat sensors whose behaviour depends on environmental
+context (temperature bands) — contexts recur as conditions cycle.
+This example runs the AQSex stand-in, compares FiCSUM against the
+unsupervised-only variant (which is blind to this dataset's
+labelling-function drift), and shows how the tracked concept states
+line up with the ground-truth contexts — the "contextualising the
+environment" use case from the paper's introduction.
+
+Run:  python examples/insect_monitoring.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core import FicsumConfig
+from repro.core.variants import make_ficsum, make_unsupervised_variant
+from repro.evaluation import prequential_run
+from repro.streams import make_dataset
+
+
+def describe_tracking(result, segment_length: int) -> None:
+    """Print the majority concept-state per stationary segment."""
+    n_segments = len(result.concept_ids) // segment_length
+    print("  segment -> (true context, majority state)")
+    for s in range(n_segments):
+        lo, hi = s * segment_length, (s + 1) * segment_length
+        concept = result.concept_ids[lo]
+        top_state, _ = Counter(result.state_ids[lo:hi]).most_common(1)[0]
+        print(f"    {s:2d}: context {concept} -> state {top_state}")
+
+
+def main() -> None:
+    segment_length = 400
+    config = FicsumConfig(fingerprint_period=5, repository_period=60)
+
+    for label, factory in (
+        ("FiCSUM (combined)", make_ficsum),
+        ("U-MI (unsupervised only)", make_unsupervised_variant),
+    ):
+        stream = make_dataset(
+            "AQSex", seed=2, segment_length=segment_length, n_repeats=3
+        )
+        system = factory(stream.meta.n_features, stream.meta.n_classes, config)
+        result = prequential_run(system, stream)
+        print(f"\n{label}")
+        print(f"  kappa={result.kappa:.3f}  C-F1={result.c_f1:.3f}  "
+              f"drifts={result.n_drifts}  states={result.n_states}")
+        if label.startswith("FiCSUM"):
+            describe_tracking(result, segment_length)
+
+    print(
+        "\nAQSex contexts differ almost purely in the labelling function "
+        "p(y|X): the unsupervised representation cannot distinguish them "
+        "(few or no drifts detected), while the combined fingerprint both "
+        "detects the changes and re-identifies recurring contexts."
+    )
+
+
+if __name__ == "__main__":
+    main()

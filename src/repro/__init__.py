@@ -1,0 +1,25 @@
+"""FiCSUM reproduction: fingerprinting concepts in data streams.
+
+Reproduces Halstead et al., "Fingerprinting Concepts in Data Streams
+with Supervised and Unsupervised Meta-Information" (ICDE 2021), with
+every substrate implemented from scratch: stream generators, Hoeffding
+trees, drift detectors, meta-information features and the comparison
+frameworks.
+
+Quickstart
+----------
+>>> from repro import Ficsum, FicsumConfig
+>>> from repro.streams import make_dataset
+>>> from repro.evaluation import prequential_run
+>>> stream = make_dataset("STAGGER", seed=1, segment_length=300, n_repeats=3)
+>>> system = Ficsum(stream.meta.n_features, stream.meta.n_classes,
+...                 FicsumConfig(fingerprint_period=10))
+>>> result = prequential_run(system, stream)
+"""
+
+from repro.core import Ficsum, FicsumConfig
+from repro.system import AdaptiveSystem
+
+__version__ = "1.0.0"
+
+__all__ = ["Ficsum", "FicsumConfig", "AdaptiveSystem", "__version__"]

@@ -1,0 +1,20 @@
+"""Comparison frameworks of Table VI.
+
+* :class:`Htcd` — Hoeffding tree reset on ADWIN error-rate drift.
+* :class:`Rcd` — the recurring-concept framework of Gonçalves & De
+  Barros (2013): classifier pool + stored sample windows, EDDM drift
+  detection, KS-test model selection.
+* :class:`Dwm` — Dynamic Weighted Majority (Kolter & Maloof 2007).
+* :class:`Arf` — Adaptive Random Forest (Gomes et al. 2017).
+* :class:`Cpf` — Concept Profiling Framework (Anderson et al. 2016),
+  from the related-work survey: prediction-equivalence recurrence
+  matching.
+"""
+
+from repro.baselines.htcd import Htcd
+from repro.baselines.rcd import Rcd
+from repro.baselines.dwm import Dwm
+from repro.baselines.arf import Arf
+from repro.baselines.cpf import Cpf
+
+__all__ = ["Htcd", "Rcd", "Dwm", "Arf", "Cpf"]

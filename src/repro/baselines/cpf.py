@@ -1,0 +1,148 @@
+"""CPF: Concept Profiling Framework (Anderson, Koh & Dobbie, 2016).
+
+Discussed in the paper's related-work survey (Section VII): CPF stores
+a pool of classifiers and, after a drift detected on the error stream,
+identifies a recurrence by *behavioural equivalence* — it replays a
+buffer of recent observations through every stored classifier and
+measures the proportion of predictions that agree with those of a new
+classifier trained on the buffer.  If some stored classifier agrees on
+at least ``similarity_margin`` of the buffer, it is reused (and the
+paper's "concept profiling" merges classifiers that repeatedly prove
+equivalent — implemented here as re-pointing the profile id).
+
+CPF is a purely *supervised* recurrence matcher: it only looks at
+prediction agreement, so — like ER / S-MI — it cannot distinguish
+concepts whose labelling functions coincide while ``p(X)`` differs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.classifiers import HoeffdingTree
+from repro.detectors import Ddm
+from repro.system import AdaptiveSystem
+
+
+class _Profile:
+    __slots__ = ("state_id", "classifier", "uses")
+
+    def __init__(self, state_id: int, classifier: HoeffdingTree) -> None:
+        self.state_id = state_id
+        self.classifier = classifier
+        self.uses = 1
+
+
+class Cpf(AdaptiveSystem):
+    """Concept profiling with prediction-equivalence model selection."""
+
+    def __init__(
+        self,
+        n_features: int,
+        n_classes: int,
+        buffer_size: int = 60,
+        similarity_margin: float = 0.85,
+        max_pool_size: int = 25,
+        grace_period: int = 50,
+        seed: int = 0,
+    ) -> None:
+        if buffer_size < 10:
+            raise ValueError(f"buffer_size must be >= 10, got {buffer_size}")
+        if not 0.5 <= similarity_margin <= 1.0:
+            raise ValueError(
+                f"similarity_margin must be in [0.5, 1], got {similarity_margin}"
+            )
+        self.n_features = n_features
+        self.n_classes = n_classes
+        self.buffer_size = buffer_size
+        self.similarity_margin = similarity_margin
+        self.max_pool_size = max_pool_size
+        self.grace_period = grace_period
+        self.seed = seed
+        self._next_id = 0
+        self._pool: Dict[int, _Profile] = {}
+        self._active = self._new_profile()
+        self._detector = Ddm()
+        self._recent_x: List[np.ndarray] = []
+        self._recent_y: List[int] = []
+        self._drifts = 0
+
+    def _new_profile(self) -> _Profile:
+        profile = _Profile(
+            self._next_id,
+            HoeffdingTree(
+                self.n_classes,
+                self.n_features,
+                grace_period=self.grace_period,
+                seed=self.seed + self._next_id,
+            ),
+        )
+        self._pool[profile.state_id] = profile
+        self._next_id += 1
+        if len(self._pool) > self.max_pool_size:
+            victim = min(
+                (p for p in self._pool.values() if p is not profile),
+                key=lambda p: p.uses,
+            )
+            del self._pool[victim.state_id]
+        return profile
+
+    @property
+    def active_state_id(self) -> int:
+        return self._active.state_id
+
+    @property
+    def n_drifts_detected(self) -> int:
+        return self._drifts
+
+    def _on_drift(self) -> None:
+        self._drifts += 1
+        if len(self._recent_x) >= 10:
+            window = np.stack(self._recent_x)
+            labels = np.array(self._recent_y)
+            # Reference behaviour: a throwaway classifier trained on the
+            # buffer approximates the emerging concept.
+            reference = HoeffdingTree(
+                self.n_classes,
+                self.n_features,
+                grace_period=max(10, self.grace_period // 2),
+                seed=self.seed + 7919 + self._drifts,
+            )
+            for x, y in zip(window, labels):
+                reference.learn(x, int(y))
+            ref_preds = reference.predict_batch(window)
+            best: Optional[_Profile] = None
+            best_agreement = self.similarity_margin
+            for profile in self._pool.values():
+                if profile.state_id == self._active.state_id:
+                    continue
+                agreement = float(
+                    np.mean(profile.classifier.predict_batch(window) == ref_preds)
+                )
+                if agreement >= best_agreement:
+                    best, best_agreement = profile, agreement
+            if best is not None:
+                best.uses += 1
+                self._active = best
+                self._detector = Ddm()
+                return
+        self._active = self._new_profile()
+        self._detector = Ddm()
+
+    def process(self, x: np.ndarray, y: int) -> int:
+        x = np.asarray(x, dtype=np.float64)
+        prediction = self._active.classifier.predict(x)
+        self._active.classifier.learn(x, y)
+        self._recent_x.append(x)
+        self._recent_y.append(int(y))
+        if len(self._recent_x) > self.buffer_size:
+            self._recent_x.pop(0)
+            self._recent_y.pop(0)
+        if self._detector.update(float(prediction != y)):
+            self._on_drift()
+        return prediction
+
+    def signal_drift(self) -> None:
+        self._on_drift()

@@ -1,0 +1,55 @@
+"""Common interface for incremental classifiers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Classifier(ABC):
+    """A classifier trained one observation at a time.
+
+    All classifiers know the number of classes up front (stream metadata
+    provides it); labels are integers in ``[0, n_classes)``.
+    """
+
+    def __init__(self, n_classes: int) -> None:
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+        self.n_classes = n_classes
+
+    @abstractmethod
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class-probability estimates for one feature vector."""
+
+    @abstractmethod
+    def learn(self, x: np.ndarray, y: int) -> None:
+        """Train on a single labelled observation."""
+
+    def predict(self, x: np.ndarray) -> int:
+        """Most probable class for one feature vector."""
+        return int(np.argmax(self.predict_proba(x)))
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Predict a label for every row of ``X``.
+
+        Subclasses may override with a vectorised implementation; the
+        default simply loops.  Used heavily by the window-Shapley
+        meta-information feature and by model selection (re-labelling an
+        active window with a stored classifier).
+        """
+        return np.array([self.predict(x) for x in np.asarray(X)], dtype=np.int64)
+
+    def change_marker(self) -> int:
+        """Monotone counter that advances on significant internal change.
+
+        FiCSUM resets classifier-dependent fingerprint statistics when
+        the active classifier "has significantly changed, e.g. a decision
+        tree has grown a new branch" (Section IV).  Classifiers without a
+        natural notion of structural change return a constant 0.
+        """
+        return 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_classes={self.n_classes})"

@@ -1,0 +1,47 @@
+"""Sliding-window k-nearest-neighbours classifier.
+
+A simple instance-based learner over the ``window_size`` most recent
+observations.  Not used by FiCSUM itself, but a useful alternative base
+learner for examples and for exercising the framework's classifier
+protocol with a non-tree model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+import numpy as np
+
+from repro.classifiers.base import Classifier
+
+
+class KnnClassifier(Classifier):
+    """k-NN over a bounded window of recent labelled observations."""
+
+    def __init__(self, n_classes: int, k: int = 5, window_size: int = 200) -> None:
+        super().__init__(n_classes)
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if window_size < k:
+            raise ValueError(f"window_size must be >= k ({window_size} < {k})")
+        self.k = k
+        self.window_size = window_size
+        self._window: Deque[Tuple[np.ndarray, int]] = deque(maxlen=window_size)
+
+    def learn(self, x: np.ndarray, y: int) -> None:
+        if not 0 <= y < self.n_classes:
+            raise ValueError(f"label {y} out of range [0, {self.n_classes})")
+        self._window.append((np.asarray(x, dtype=np.float64), int(y)))
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if not self._window:
+            return np.full(self.n_classes, 1.0 / self.n_classes)
+        x = np.asarray(x, dtype=np.float64)
+        data = np.stack([item[0] for item in self._window])
+        labels = np.array([item[1] for item in self._window])
+        dists = np.linalg.norm(data - x[None, :], axis=1)
+        k = min(self.k, len(dists))
+        nearest = labels[np.argpartition(dists, k - 1)[:k]]
+        counts = np.bincount(nearest, minlength=self.n_classes).astype(np.float64)
+        return counts / counts.sum()

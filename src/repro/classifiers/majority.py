@@ -1,0 +1,26 @@
+"""Majority-class baseline classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import Classifier
+
+
+class MajorityClass(Classifier):
+    """Predicts the most frequent class seen so far (uniform before any)."""
+
+    def __init__(self, n_classes: int) -> None:
+        super().__init__(n_classes)
+        self.class_counts = np.zeros(n_classes, dtype=np.float64)
+
+    def learn(self, x: np.ndarray, y: int) -> None:
+        if not 0 <= y < self.n_classes:
+            raise ValueError(f"label {y} out of range [0, {self.n_classes})")
+        self.class_counts[y] += 1.0
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        total = self.class_counts.sum()
+        if total == 0:
+            return np.full(self.n_classes, 1.0 / self.n_classes)
+        return self.class_counts / total

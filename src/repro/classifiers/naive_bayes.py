@@ -1,0 +1,69 @@
+"""Incremental Gaussian naive Bayes.
+
+Maintains one Welford accumulator per (class, feature) and predicts with
+per-feature Gaussian likelihoods under the independence assumption.
+Used as the expert learner inside DWM and as the leaf model of the
+Hoeffding tree's naive-Bayes prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import Classifier
+
+_MIN_VAR = 1e-9
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+class GaussianNaiveBayes(Classifier):
+    """Online Gaussian NB over numeric features."""
+
+    def __init__(self, n_classes: int, n_features: int) -> None:
+        super().__init__(n_classes)
+        if n_features <= 0:
+            raise ValueError(f"n_features must be positive, got {n_features}")
+        self.n_features = n_features
+        self.class_counts = np.zeros(n_classes, dtype=np.float64)
+        self._means = np.zeros((n_classes, n_features), dtype=np.float64)
+        self._m2 = np.zeros((n_classes, n_features), dtype=np.float64)
+
+    @property
+    def total_weight(self) -> float:
+        return float(self.class_counts.sum())
+
+    def learn(self, x: np.ndarray, y: int) -> None:
+        x = np.asarray(x, dtype=np.float64)
+        if not 0 <= y < self.n_classes:
+            raise ValueError(f"label {y} out of range [0, {self.n_classes})")
+        self.class_counts[y] += 1.0
+        count = self.class_counts[y]
+        delta = x - self._means[y]
+        self._means[y] += delta / count
+        self._m2[y] += delta * (x - self._means[y])
+
+    def _log_likelihoods(self, x: np.ndarray) -> np.ndarray:
+        """Joint log p(x, c) for every class (unnormalised)."""
+        counts = np.maximum(self.class_counts, 1.0)[:, None]
+        variances = np.maximum(self._m2 / counts, _MIN_VAR)
+        diff = x[None, :] - self._means
+        log_pdf = -0.5 * (_LOG_2PI + np.log(variances) + diff * diff / variances)
+        # Classes never seen get a strongly negative prior.
+        log_prior = np.where(
+            self.class_counts > 0,
+            np.log(np.maximum(self.class_counts, 1.0) / max(self.total_weight, 1.0)),
+            -1e9,
+        )
+        return log_prior + log_pdf.sum(axis=1)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if self.total_weight == 0:
+            return np.full(self.n_classes, 1.0 / self.n_classes)
+        log_like = self._log_likelihoods(x)
+        log_like -= log_like.max()
+        probs = np.exp(log_like)
+        total = probs.sum()
+        if total <= 0 or not np.isfinite(total):
+            return np.full(self.n_classes, 1.0 / self.n_classes)
+        return probs / total

@@ -1,0 +1,111 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``      one prequential experiment (system x dataset x seed)
+``datasets`` list the registered datasets (Table II characteristics)
+``systems``  list the registered systems
+
+Examples
+--------
+::
+
+    python -m repro run --system ficsum --dataset STAGGER --seed 1
+    python -m repro run --system umi --dataset RTREE-U --oracle
+    python -m repro datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import FicsumConfig
+from repro.evaluation import SYSTEM_BUILDERS, run_on_dataset
+from repro.streams.datasets import dataset_info, dataset_names
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FiCSUM reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one prequential experiment")
+    run.add_argument("--system", required=True, choices=sorted(SYSTEM_BUILDERS))
+    run.add_argument("--dataset", required=True)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--segment-length", type=int, default=None)
+    run.add_argument("--n-repeats", type=int, default=3)
+    run.add_argument("--window-size", type=int, default=75)
+    run.add_argument("--fingerprint-period", type=int, default=5)
+    run.add_argument("--repository-period", type=int, default=60)
+    run.add_argument(
+        "--oracle", action="store_true",
+        help="signal ground-truth drift boundaries (perfect detection)",
+    )
+
+    sub.add_parser("datasets", help="list registered datasets")
+    sub.add_parser("systems", help="list registered systems")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = FicsumConfig(
+        window_size=args.window_size,
+        fingerprint_period=args.fingerprint_period,
+        repository_period=args.repository_period,
+        oracle_drift=args.oracle,
+    )
+    result = run_on_dataset(
+        args.system,
+        args.dataset,
+        seed=args.seed,
+        segment_length=args.segment_length,
+        n_repeats=args.n_repeats,
+        config=config,
+        oracle_drift=args.oracle,
+    )
+    print(f"system    : {args.system}")
+    print(f"dataset   : {args.dataset} (seed {args.seed})")
+    print(f"accuracy  : {result.accuracy:.4f}")
+    print(f"kappa     : {result.kappa:.4f}")
+    print(f"C-F1      : {result.c_f1:.4f}")
+    print(f"drifts    : {result.n_drifts}")
+    print(f"states    : {result.n_states}")
+    print(f"runtime   : {result.runtime_s:.2f}s "
+          f"({result.n_observations} observations)")
+    return 0
+
+
+def _cmd_datasets() -> int:
+    print(f"{'name':10s} {'length':>7s} {'feats':>6s} {'ctx':>4s} "
+          f"{'classes':>8s}  drift")
+    for name in dataset_names():
+        spec = dataset_info(name)
+        print(
+            f"{name:10s} {spec.paper_length:7d} {spec.n_features:6d} "
+            f"{spec.n_contexts:4d} {spec.n_classes:8d}  {spec.drift_type}"
+        )
+    return 0
+
+
+def _cmd_systems() -> int:
+    for name in sorted(SYSTEM_BUILDERS):
+        print(name)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    return _cmd_systems()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""FiCSUM configuration.
+
+Defaults follow the paper's tuned values (Section VI-2): window size 75,
+buffer ratio 0.25, ``P_C`` = 3, ``P_S`` = 25, acceptance gate of two
+standard deviations.  The extra switches (``weighting``, ``plasticity``,
+``second_selection``, ``oracle_drift``) exist for the ablation benches
+and the supplementary perfect-drift-signal experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+WEIGHTING_MODES = ("full", "sigma", "fisher", "none")
+
+
+@dataclass
+class FicsumConfig:
+    """All tunables of the FiCSUM framework (Algorithm 1).
+
+    Parameters
+    ----------
+    window_size:
+        ``w`` — observations per fingerprint window.
+    buffer_ratio:
+        ``b / w`` — the buffer delay as a fraction of the window, so
+        fingerprints are only learned from observations old enough to
+        be certainly pre-drift (paper default 0.25).
+    fingerprint_period:
+        ``P_C`` — observations between fingerprint updates.
+    repository_period:
+        ``P_S`` — observations between non-active repository updates
+        (these feed the intra-classifier Fisher weights).
+    similarity_gate:
+        Acceptance half-width in standard deviations for model
+        selection (paper: 2).
+    min_similarity_std:
+        Floor on the recorded similarity deviation, so acceptance never
+        becomes numerically impossible for ultra-stable concepts.
+    functions / source_set:
+        Meta-information functions (names or Table V group names) and
+        behaviour-source restriction ("all", "supervised",
+        "unsupervised", "error_rate").
+    weighting:
+        "full" (paper), "sigma" (scale term only), "fisher"
+        (discrimination term only) or "none" (plain cosine) — ablation.
+    plasticity:
+        Reset classifier-dependent fingerprint statistics when the
+        classifier grows a branch (Section IV).
+    second_selection:
+        Re-run model selection ``w`` observations after each drift.
+    oracle_drift:
+        Ignore ADWIN and rely on external :meth:`signal_drift` calls
+        (the supplementary perfect-detection experiment).
+    max_repository_size:
+        Stored concepts beyond this evict the least recently used.
+    sim_record_samples:
+        Retained fingerprint pairs per concept used to re-express stale
+        similarity records under the current weighting (Section IV).
+    sim_record_decay:
+        Exponential forgetting factor of the (mu_c, sigma_c) similarity
+        records, so they describe recent stationary behaviour.
+    adwin_delta:
+        Confidence of the ADWIN detector on the similarity stream.
+    shapley_max_eval:
+        Window rows sampled by the permutation-importance estimator.
+    grace_period / split_confidence / tie_threshold:
+        Hoeffding-tree hyperparameters for concept classifiers.
+    drift_warmup_windows:
+        Multiples of ``window_size`` after a concept switch during
+        which drift cannot be signalled and similarity records adapt
+        freely — a freshly (re)activated classifier improves rapidly,
+        which would otherwise read as drift (Section IV's motivation
+        for fingerprint plasticity).
+    track_discrimination:
+        Record discrimination-ability samples at repository-update
+        checkpoints (needed for Tables III and V).
+    seed:
+        Randomness for classifiers and subsampling.
+    """
+
+    window_size: int = 75
+    buffer_ratio: float = 0.25
+    fingerprint_period: int = 3
+    repository_period: int = 25
+    similarity_gate: float = 2.0
+    min_similarity_std: float = 0.015
+    functions: Optional[Sequence[str]] = None
+    source_set: str = "all"
+    weighting: str = "full"
+    plasticity: bool = True
+    second_selection: bool = True
+    oracle_drift: bool = False
+    max_repository_size: int = 40
+    sim_record_samples: int = 4
+    sim_record_decay: float = 0.05
+    adwin_delta: float = 0.002
+    shapley_max_eval: int = 12
+    grace_period: int = 50
+    split_confidence: float = 1e-5
+    tie_threshold: float = 0.05
+    drift_warmup_windows: float = 2.0
+    track_discrimination: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window_size < 5:
+            raise ValueError(f"window_size must be >= 5, got {self.window_size}")
+        if not 0.0 <= self.buffer_ratio <= 2.0:
+            raise ValueError(
+                f"buffer_ratio must be in [0, 2], got {self.buffer_ratio}"
+            )
+        if self.fingerprint_period < 1:
+            raise ValueError(
+                f"fingerprint_period must be >= 1, got {self.fingerprint_period}"
+            )
+        if self.repository_period < 1:
+            raise ValueError(
+                f"repository_period must be >= 1, got {self.repository_period}"
+            )
+        if self.weighting not in WEIGHTING_MODES:
+            raise ValueError(
+                f"weighting must be one of {WEIGHTING_MODES}, got {self.weighting!r}"
+            )
+        if self.similarity_gate <= 0:
+            raise ValueError(
+                f"similarity_gate must be positive, got {self.similarity_gate}"
+            )
+        if self.max_repository_size < 1:
+            raise ValueError(
+                f"max_repository_size must be >= 1, got {self.max_repository_size}"
+            )
+
+    @property
+    def buffer_delay(self) -> int:
+        """``b`` — the buffer delay in observations."""
+        return max(1, int(round(self.window_size * self.buffer_ratio)))

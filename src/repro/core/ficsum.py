@@ -1,0 +1,489 @@
+"""The FiCSUM framework (Algorithm 1 of the paper).
+
+Per observation the framework
+
+1. predicts and trains the active concept's classifier (prequential),
+2. maintains the active window ``A`` and delayed buffer window ``B``,
+3. every ``P_C`` observations builds fingerprints ``F_A``/``F_B``,
+   refreshes the dynamic weights, incorporates ``F_B`` into the active
+   concept fingerprint ``F_c``, records the stationary similarity
+   ``Sim(F_c, F_B)`` and feeds ``Sim(F_c, F_A)`` to an ADWIN detector,
+4. on an ADWIN alert runs model selection: every stored concept's
+   classifier re-labels ``A``, and a stored concept is accepted as a
+   recurrence when the resulting similarity lies within the gate
+   ``mu_s ± 2 sigma_s`` of its recorded stationary similarity —
+   otherwise a brand-new concept state starts,
+5. re-runs selection ``w`` observations after each drift (by then ``A``
+   is fully drawn from the emerging concept), replacing a spuriously
+   created state when a recurrence is found,
+6. every ``P_S`` observations updates each stored concept's
+   *non-active* fingerprint (its classifier's behaviour on current
+   observations), which feeds the intra-classifier Fisher weight and —
+   when enabled — the discrimination-ability measurements of
+   Tables III and V.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.classifiers import HoeffdingTree
+from repro.classifiers.base import Classifier
+from repro.core.config import FicsumConfig
+from repro.core.repository import ConceptState, Repository
+from repro.core.similarity import similarity
+from repro.core.weighting import make_weights
+from repro.detectors import Adwin
+from repro.metafeatures import FingerprintExtractor
+from repro.system import AdaptiveSystem
+from repro.utils.stats import OnlineMinMax
+from repro.utils.windows import SlidingWindow
+
+_LabeledObs = Tuple[np.ndarray, int, int]
+
+
+class Ficsum(AdaptiveSystem):
+    """Fingerprinting with Combined Supervised and Unsupervised
+    Meta-Information.
+
+    Parameters
+    ----------
+    n_features, n_classes:
+        Stream metadata.
+    config:
+        A :class:`FicsumConfig`; defaults to the paper's tuned values.
+
+    Attributes
+    ----------
+    drift_points:
+        Timesteps at which drift was signalled.
+    discrimination_samples:
+        Z-score discrimination measurements (when
+        ``config.track_discrimination``): at each repository update the
+        similarity of the current window to every stored concept is
+        re-expressed as a z-score against that concept's recorded
+        stationary similarity, and the sample is
+        ``z_active - mean(z_others)`` — how much better the true
+        concept explains the window than the alternatives do, in units
+        of normal similarity deviation.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        n_classes: int,
+        config: Optional[FicsumConfig] = None,
+    ) -> None:
+        self.config = config or FicsumConfig()
+        self.n_features = n_features
+        self.n_classes = n_classes
+        cfg = self.config
+        self.extractor = FingerprintExtractor(
+            n_features,
+            functions=cfg.functions,
+            source_set=cfg.source_set,
+            shapley_max_eval=cfg.shapley_max_eval,
+        )
+        self.n_dims = self.extractor.n_dims
+        try:
+            self._error_dim = self.extractor.schema.index_of("errors", "mean")
+        except ValueError:
+            self._error_dim = -1
+        self.normalizer = OnlineMinMax(self.n_dims)
+        self.repository = Repository(cfg.max_repository_size)
+        self.window: SlidingWindow[_LabeledObs] = SlidingWindow(cfg.window_size)
+        self.detector = self._new_detector()
+        self._classifier_seed = cfg.seed
+        self._step = 0
+        self._weights = np.ones(self.n_dims)
+        self._active = self.repository.new_state(
+            self.n_dims, self._new_classifier(), step=0,
+            sim_record_samples=cfg.sim_record_samples,
+            sim_record_decay=cfg.sim_record_decay,
+        )
+        self._change_marker = self._active.classifier.change_marker()
+        self._pending_recheck: Optional[int] = None
+        self._created_at_drift: Optional[int] = None
+        self.drift_points: List[int] = []
+        self.discrimination_samples: List[float] = []
+        # F_B(t) covers observations [t-b-w+1, t-b] — exactly F_A(t-b).
+        # Aligning the buffer delay to a multiple of P_C lets the buffer
+        # fingerprint be served from a small cache of recent active
+        # fingerprints instead of a second extraction per step.
+        period = cfg.fingerprint_period
+        self._aligned_delay = max(
+            period, int(np.ceil(cfg.buffer_delay / period)) * period
+        )
+        self._fa_cache: dict = {}
+        self._switch_step = 0
+        self._warmup_obs = int(cfg.drift_warmup_windows * cfg.window_size)
+        self._freeze_streak = 0
+        self._abnormal_streak = 0
+        # A window's worth of consecutive abnormal similarities is a
+        # drift signal of its own: ADWIN only cuts on a *transition*,
+        # which never appears when a mismatch exists from the moment the
+        # detector was created (e.g. a drift arriving right after a
+        # concept switch).
+        self._streak_trigger = max(4, cfg.window_size // period)
+        # After this many consecutive abnormal buffer fingerprints the
+        # record resumes learning anyway (the concept has genuinely
+        # moved and no drift was ever confirmed).
+        self._freeze_limit = 2 * self._streak_trigger
+
+    # ------------------------------------------------------------------
+    def _new_detector(self) -> Adwin:
+        # Cut checks on every similarity value: the similarity stream is
+        # short (one value per P_C observations), so responsiveness
+        # matters more than the per-update cost ADWIN's clock saves.
+        return Adwin(self.config.adwin_delta, min_clock=1)
+
+    def _new_classifier(self) -> Classifier:
+        cfg = self.config
+        self._classifier_seed += 1
+        return HoeffdingTree(
+            self.n_classes,
+            self.n_features,
+            grace_period=cfg.grace_period,
+            split_confidence=cfg.split_confidence,
+            tie_threshold=cfg.tie_threshold,
+            seed=self._classifier_seed,
+        )
+
+    @property
+    def active_state_id(self) -> int:
+        return self._active.state_id
+
+    @property
+    def n_drifts_detected(self) -> int:
+        return len(self.drift_points)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Current dynamic weight vector (schema order)."""
+        return self._weights.copy()
+
+    # ------------------------------------------------------------------
+    def process(self, x: np.ndarray, y: int) -> int:
+        cfg = self.config
+        x = np.asarray(x, dtype=np.float64)
+        prediction = self._active.classifier.predict(x)
+        self._active.classifier.learn(x, y)
+        self.window.append((x, int(y), int(prediction)))
+        self._step += 1
+        self._active.last_active_step = self._step
+
+        # Plasticity is meaningless for a univariate fingerprint: it
+        # would erase the entire representation on every tree split.
+        if cfg.plasticity and self.n_dims > 1:
+            marker = self._active.classifier.change_marker()
+            if marker != self._change_marker:
+                self._change_marker = marker
+                self._active.fingerprint.reset_dims(
+                    self.extractor.schema.classifier_dependent
+                )
+
+        if self._step % cfg.fingerprint_period == 0 and self.window.full:
+            self._fingerprint_step()
+        if self._step % cfg.repository_period == 0 and self.window.full:
+            self._repository_step()
+        if self._pending_recheck is not None and self._step >= self._pending_recheck:
+            self._pending_recheck = None
+            if cfg.second_selection:
+                self._second_selection()
+        return prediction
+
+    def signal_drift(self) -> None:
+        """Oracle drift notification (perfect-detection experiment)."""
+        if self.config.oracle_drift:
+            self._on_drift()
+
+    @property
+    def _in_warmup(self) -> bool:
+        """True while the active classifier is too young to judge drift."""
+        return self._step - self._switch_step < self._warmup_obs
+
+    # ------------------------------------------------------------------
+    # Step III-A: fingerprints, incorporation, drift detection
+    # ------------------------------------------------------------------
+    def _window_arrays(self, items: List[_LabeledObs]):
+        xs = np.stack([item[0] for item in items])
+        ys = np.array([item[1] for item in items], dtype=np.int64)
+        ls = np.array([item[2] for item in items], dtype=np.int64)
+        return xs, ys, ls
+
+    def _sim(self, raw_a: np.ndarray, raw_b: np.ndarray) -> float:
+        scaled_a = self.normalizer.scale(raw_a)
+        scaled_b = self.normalizer.scale(raw_b)
+        return similarity(scaled_a, scaled_b, self._weights)
+
+    def _fingerprint_step(self) -> None:
+        cfg = self.config
+        xa, ya, la = self._window_arrays(self.window.items())
+        fp_active = self.extractor.extract(xa, ya, la, self._active.classifier)
+        self.normalizer.update(fp_active)
+        # Only windows drawn entirely after the last concept switch may
+        # be incorporated into the concept fingerprint (the buffer's
+        # purpose in Algorithm 1): the window [t-w+1, t] qualifies when
+        # t - w >= switch time.
+        if self._step - cfg.window_size >= self._switch_step:
+            self._fa_cache[self._step] = fp_active
+        stale = self._step - 2 * self._aligned_delay
+        self._fa_cache = {s: f for s, f in self._fa_cache.items() if s > stale}
+
+        # The buffer window's fingerprint is the active fingerprint from
+        # `aligned_delay` steps ago (same observations, same stored
+        # predictions); only available while the segment is contiguous
+        # (the cache is cleared on concept switches).
+        fp_buffer = self._fa_cache.get(self._step - self._aligned_delay)
+
+        self._weights = make_weights(
+            cfg.weighting, self._active, self.repository.states(), self.normalizer
+        )
+
+        if fp_buffer is not None:
+            self._incorporate_buffer(fp_buffer)
+
+        if (
+            self._active.fingerprint.count >= 2
+            and self._active.sim_stats.count >= 3
+            and not self._in_warmup
+        ):
+            drift_sim = self._sim(self._active.fingerprint.means, fp_active)
+            # The detector monitors how *abnormal* the similarity is
+            # relative to the concept's recorded stationary distribution
+            # (mu_c, sigma_c): under stationarity the z-deviation stays
+            # small; after a drift it jumps and stays high until the
+            # concept representation changes.  Squashing z/(1+z) keeps
+            # the ADWIN input in [0, 1].
+            mu, sigma = self._gated_record(self._active)
+            z = abs(drift_sim - mu) / (self.config.similarity_gate * sigma)
+            if self.n_dims == 1:
+                # The univariate (ER) similarity 1/|M-P| is heavy-tailed
+                # and unusable as a z-score; its underlying |M-P| is the
+                # natural bounded detector input (stationary: ~0).
+                scaled = self.normalizer.scale(
+                    self._active.fingerprint.means
+                ) - self.normalizer.scale(fp_active)
+                alert = self.detector.update(min(1.0, float(abs(scaled[0]))))
+            else:
+                alert = self.detector.update(z / (1.0 + z))
+            if z > 1.0 and self._active.sim_stats.count >= 10:
+                self._abnormal_streak += 1
+            else:
+                self._abnormal_streak = 0
+            if self._abnormal_streak >= self._streak_trigger:
+                alert = True
+            if alert and not cfg.oracle_drift:
+                self._on_drift()
+
+    def _incorporate_buffer(self, fp_buffer: np.ndarray) -> None:
+        """Fold a buffer fingerprint into ``F_c`` — if it looks stationary.
+
+        Algorithm 1 protects the concept fingerprint from post-drift
+        contamination with the delay buffer, under the assumption that
+        detection lags by less than ``b`` observations.  When detection
+        takes longer, an unprotected record would absorb the new
+        concept before ADWIN accumulates evidence, so windows whose
+        similarity is abnormal (outside the model-selection gate) are
+        additionally excluded — unless the abnormality persists past
+        ``_freeze_limit`` consecutive windows, in which case the
+        concept is accepted as having genuinely evolved.
+        """
+        active = self._active
+        if active.fingerprint.count >= 1:
+            norm_sim = self._sim(active.fingerprint.means, fp_buffer)
+            if active.sim_stats.count >= 10 and not self._in_warmup:
+                mu, sigma = self._gated_record(active)
+                z = abs(norm_sim - mu) / (self.config.similarity_gate * sigma)
+                if z > 1.0:
+                    if self._freeze_streak < self._freeze_limit:
+                        self._freeze_streak += 1
+                        return
+                    # The concept has genuinely moved without a drift
+                    # ever being confirmed: restart the record around
+                    # the new normal instead of dragging the old one.
+                    active.reset_similarity_record()
+            self._freeze_streak = 0
+            active.record_similarity(
+                active.fingerprint.means, fp_buffer, norm_sim
+            )
+        if self._error_dim >= 0:
+            active.error_stats.update(float(fp_buffer[self._error_dim]))
+        active.fingerprint.incorporate(fp_buffer)
+
+    # ------------------------------------------------------------------
+    # Step III-A (model selection) and Section IV mechanisms
+    # ------------------------------------------------------------------
+    def _gated_record(self, state: ConceptState) -> Tuple[float, float]:
+        """Re-scaled (mu, sigma) with the numerical floor applied."""
+        mu, sigma = state.rescaled_similarity_record(self._sim)
+        floor = self.config.min_similarity_std * max(1.0, abs(mu))
+        return mu, max(sigma, floor)
+
+    def _candidate_states(self) -> List[ConceptState]:
+        return [
+            state
+            for state in self.repository.states()
+            if state.fingerprint.count >= 2 and state.sim_stats.count >= 2
+        ]
+
+    def _error_gate(self, state: ConceptState, fp: np.ndarray) -> bool:
+        """Is the window error rate of ``state``'s classifier normal?
+
+        The error rate is one of the supervised meta-information
+        features; gating on it directly prevents a candidate whose
+        classifier clearly cannot predict the window from being accepted
+        on the strength of (unchanged) unsupervised dimensions.  Skipped
+        for schemas without an error source (U-MI) and for young records.
+        """
+        if self._error_dim < 0 or state.error_stats.count < 5:
+            return True
+        window_error = float(fp[self._error_dim])
+        mu = state.error_stats.mean
+        sigma = max(state.error_stats.std, 0.03)
+        return window_error <= mu + self.config.similarity_gate * sigma
+
+    def _model_select(self) -> Optional[ConceptState]:
+        """Pick the stored concept that explains the active window, if any."""
+        if not self.window.full:
+            return None
+        cfg = self.config
+        xa, ya, _ = self._window_arrays(self.window.items())
+        best: Optional[Tuple[float, ConceptState]] = None
+        for state in self._candidate_states():
+            preds = state.classifier.predict_batch(xa)
+            fp = self.extractor.extract(xa, ya, preds, state.classifier)
+            self.normalizer.update(fp)
+            sim = self._sim(state.fingerprint.means, fp)
+            mu, sigma = self._gated_record(state)
+            if abs(sim - mu) <= cfg.similarity_gate * sigma and self._error_gate(
+                state, fp
+            ):
+                if best is None or sim > best[0]:
+                    best = (sim, state)
+        return best[1] if best else None
+
+    def _set_active(self, state: ConceptState) -> None:
+        self._active = state
+        state.last_active_step = self._step
+        self._change_marker = state.classifier.change_marker()
+        self._switch_step = self._step
+        self._fa_cache.clear()
+        self._abnormal_streak = 0
+        self._freeze_streak = 0
+        self.detector = self._new_detector()
+
+    def _on_drift(self) -> None:
+        self.drift_points.append(self._step)
+        selected = self._model_select()
+        if selected is None:
+            new_state = self.repository.new_state(
+                self.n_dims,
+                self._new_classifier(),
+                step=self._step,
+                sim_record_samples=self.config.sim_record_samples,
+                sim_record_decay=self.config.sim_record_decay,
+            )
+            self._created_at_drift = new_state.state_id
+            self._set_active(new_state)
+        else:
+            self._created_at_drift = None
+            self._set_active(selected)
+        self._pending_recheck = self._step + self.config.window_size
+
+    def _active_matches_window(self) -> bool:
+        """Does the active state's record still explain the window?
+
+        Benefit of the doubt while the record is too young to judge.
+        """
+        active = self._active
+        if active.fingerprint.count < 2 or active.sim_stats.count < 2:
+            return True
+        xa, ya, _ = self._window_arrays(self.window.items())
+        preds = active.classifier.predict_batch(xa)
+        fp = self.extractor.extract(xa, ya, preds, active.classifier)
+        sim = self._sim(active.fingerprint.means, fp)
+        mu, sigma = self._gated_record(active)
+        if abs(sim - mu) > self.config.similarity_gate * sigma:
+            return False
+        return self._error_gate(active, fp)
+
+    def _second_selection(self) -> None:
+        """Re-check for a recurrence once ``A`` is fully post-drift.
+
+        Three outcomes: switch to an accepted stored concept (deleting a
+        state spuriously created at drift time), keep the current state,
+        or — when nothing in the repository explains the now fully
+        post-drift window, *including* the active state (this happens
+        whenever drift was signalled before any post-drift data existed,
+        e.g. with oracle signals) — start a brand-new concept.
+        """
+        selected = self._model_select()
+        created = self._created_at_drift
+        self._created_at_drift = None
+        if selected is None:
+            if not self._active_matches_window():
+                new_state = self.repository.new_state(
+                    self.n_dims,
+                    self._new_classifier(),
+                    step=self._step,
+                    sim_record_samples=self.config.sim_record_samples,
+                    sim_record_decay=self.config.sim_record_decay,
+                )
+                self._set_active(new_state)
+            return
+        if selected.state_id == self._active.state_id:
+            return
+        switching_from_created = (
+            created is not None and self._active.state_id == created
+        )
+        self._set_active(selected)
+        if switching_from_created and created in self.repository:
+            # The state created at drift time was a transition artifact.
+            self.repository.remove(created)
+
+    # ------------------------------------------------------------------
+    # Step III-B support: non-active fingerprints + discrimination
+    # ------------------------------------------------------------------
+    def _repository_step(self) -> None:
+        states = self.repository.states()
+        others = [
+            s
+            for s in states
+            if s.state_id != self._active.state_id and s.fingerprint.count >= 1
+        ]
+        if not others:
+            return
+        xa, ya, _ = self._window_arrays(self.window.items())
+        other_sims: List[float] = []
+        for state in others:
+            preds = state.classifier.predict_batch(xa)
+            fp = self.extractor.extract(xa, ya, preds, state.classifier)
+            self.normalizer.update(fp)
+            state.nonactive.incorporate(fp)
+            if self.config.track_discrimination and state.sim_stats.count >= 2:
+                mu, sigma = self._gated_record(state)
+                sim = self._sim(state.fingerprint.means, fp)
+                other_sims.append((sim - mu) / sigma)
+        if (
+            self.config.track_discrimination
+            and other_sims
+            and self._active.fingerprint.count >= 2
+            and self._active.sim_stats.count >= 2
+        ):
+            preds = self._active.classifier.predict_batch(xa)
+            fp = self.extractor.extract(xa, ya, preds, self._active.classifier)
+            sim = self._sim(self._active.fingerprint.means, fp)
+            mu, sigma = self._gated_record(self._active)
+            z_active = (sim - mu) / sigma
+            self.discrimination_samples.append(
+                float(z_active - np.mean(other_sims))
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Ficsum(states={len(self.repository)}, "
+            f"active={self._active.state_id}, drifts={len(self.drift_points)})"
+        )

@@ -1,0 +1,65 @@
+"""Concept fingerprints: online distributions of fingerprint vectors.
+
+A *fingerprint* is one vector extracted from one window.  A *concept
+fingerprint* summarises every fingerprint incorporated while a concept
+was active: per-dimension mean, standard deviation and count (the
+triple the paper stores per meta-information feature).  The mean vector
+is the representation compared against fresh fingerprints; the standard
+deviations feed the ``w_sigma`` weights; ``reset_dims`` implements the
+fingerprint-plasticity mechanism of Section IV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.stats import OnlineVectorStats
+
+
+class ConceptFingerprint:
+    """Running per-dimension statistics over incorporated fingerprints."""
+
+    def __init__(self, n_dims: int) -> None:
+        self._stats = OnlineVectorStats(n_dims)
+
+    @property
+    def n_dims(self) -> int:
+        return self._stats.n_dims
+
+    @property
+    def count(self) -> int:
+        """Fingerprints incorporated since creation (max over dims)."""
+        return self._stats.count
+
+    @property
+    def means(self) -> np.ndarray:
+        """The concept's representation vector (raw space)."""
+        return self._stats.means
+
+    @property
+    def stds(self) -> np.ndarray:
+        """Per-dimension deviation across incorporated fingerprints."""
+        return self._stats.stds
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self._stats.counts
+
+    def incorporate(self, fingerprint: np.ndarray) -> None:
+        """Fold one window fingerprint into the concept representation."""
+        fingerprint = np.asarray(fingerprint, dtype=np.float64)
+        if not np.all(np.isfinite(fingerprint)):
+            raise ValueError("fingerprint contains non-finite values")
+        self._stats.update(fingerprint)
+
+    def reset_dims(self, mask: np.ndarray) -> None:
+        """Forget classifier-dependent dimensions (plasticity, §IV)."""
+        self._stats.reset_dims(mask)
+
+    def copy(self) -> "ConceptFingerprint":
+        clone = ConceptFingerprint(self.n_dims)
+        clone._stats = self._stats.copy()
+        return clone
+
+    def __repr__(self) -> str:
+        return f"ConceptFingerprint(n_dims={self.n_dims}, count={self.count})"

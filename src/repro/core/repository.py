@@ -1,0 +1,168 @@
+"""The concept repository: stored concept states and similarity records.
+
+Each stored concept keeps
+
+* its **concept fingerprint** (self-behaviour while active),
+* its **non-active fingerprint** — the behaviour of its classifier on
+  windows of *other* concepts, which feeds the intra-classifier Fisher
+  weight,
+* its **classifier**,
+* its **similarity record**: the running mean/std of
+  ``Sim(F_c, F_B)`` seen under stationary conditions, which is the
+  acceptance gate for model selection, and
+* a small retained sample of fingerprint pairs with their recorded
+  similarity so that — as the normalisation and dynamic weights evolve
+  — stale records can be re-expressed in the current scheme
+  (Section IV of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from collections import deque
+
+from repro.classifiers.base import Classifier
+from repro.core.fingerprint import ConceptFingerprint
+from repro.utils.stats import EwmaStats
+
+SimFn = Callable[[np.ndarray, np.ndarray], float]
+
+
+class ConceptState:
+    """Everything stored for one concept."""
+
+    def __init__(
+        self,
+        state_id: int,
+        n_dims: int,
+        classifier: Classifier,
+        sim_record_samples: int = 4,
+        sim_record_decay: float = 0.05,
+    ) -> None:
+        self.state_id = state_id
+        self.sim_record_decay = sim_record_decay
+        self.classifier = classifier
+        self.fingerprint = ConceptFingerprint(n_dims)
+        self.nonactive = ConceptFingerprint(n_dims)
+        self.sim_stats = EwmaStats(alpha=sim_record_decay)
+        # Normal window error rate of this concept's classifier while
+        # active: the recurrence gate checks fresh windows against it
+        # (the error rate is itself one of the fingerprint's supervised
+        # meta-information features).
+        self.error_stats = EwmaStats(alpha=sim_record_decay)
+        # Most recent fingerprint pairs with their recorded similarity:
+        # re-evaluating them under the current weighting scheme measures
+        # how the scheme has shifted since the record was written.
+        self.sim_pairs: deque = deque(maxlen=sim_record_samples)
+        self.last_active_step = 0
+
+    def record_similarity(
+        self, concept_means: np.ndarray, window_fp: np.ndarray, sim: float
+    ) -> None:
+        """Log one stationary similarity observation and its pair."""
+        self.sim_stats.update(sim)
+        self.sim_pairs.append((concept_means.copy(), window_fp.copy(), sim))
+
+    def rescaled_similarity_record(self, sim_fn: SimFn) -> Tuple[float, float]:
+        """Recorded (mu, sigma) re-expressed under the current scheme.
+
+        Recomputes the similarity of the retained fingerprint pairs with
+        the *current* weighting/normalisation and transforms the stored
+        record accordingly (Section IV).  Bounded (cosine) similarities
+        shift additively under a weighting change, so the record is
+        moved by the mean difference; the unbounded univariate (ER)
+        similarity scales multiplicatively, so it is moved by the mean
+        ratio (clipped for safety).  Falls back to the raw record when
+        no pairs are retained.
+        """
+        mu, sigma = self.sim_stats.mean, self.sim_stats.std
+        if not self.sim_pairs:
+            return mu, sigma
+        univariate = len(self.sim_pairs[0][0]) == 1
+        if univariate:
+            ratios = []
+            for concept_means, window_fp, old_sim in self.sim_pairs:
+                if abs(old_sim) < 1e-12:
+                    continue
+                ratios.append(sim_fn(concept_means, window_fp) / old_sim)
+            if not ratios:
+                return mu, sigma
+            ratio = float(np.clip(np.mean(ratios), 0.2, 5.0))
+            if not np.isfinite(ratio):
+                return mu, sigma
+            return mu * ratio, sigma * ratio
+        deltas = [
+            sim_fn(concept_means, window_fp) - old_sim
+            for concept_means, window_fp, old_sim in self.sim_pairs
+        ]
+        delta = float(np.clip(np.mean(deltas), -0.5, 0.5))
+        if not np.isfinite(delta):
+            return mu, sigma
+        return mu + delta, sigma
+
+    def reset_similarity_record(self) -> None:
+        self.sim_stats = EwmaStats(alpha=self.sim_record_decay)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConceptState(id={self.state_id}, "
+            f"fp_count={self.fingerprint.count}, "
+            f"sim_n={self.sim_stats.count})"
+        )
+
+
+class Repository:
+    """Bounded store of concept states with LRU eviction."""
+
+    def __init__(self, max_size: int = 40) -> None:
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        self.max_size = max_size
+        self._states: Dict[int, ConceptState] = {}
+        self._next_id = 0
+
+    def new_state(
+        self,
+        n_dims: int,
+        classifier: Classifier,
+        step: int,
+        sim_record_samples: int = 4,
+        sim_record_decay: float = 0.05,
+    ) -> ConceptState:
+        """Create, store and return a fresh concept state."""
+        state = ConceptState(
+            self._next_id, n_dims, classifier, sim_record_samples,
+            sim_record_decay,
+        )
+        state.last_active_step = step
+        self._states[state.state_id] = state
+        self._next_id += 1
+        self._evict_if_needed(protect=state.state_id)
+        return state
+
+    def _evict_if_needed(self, protect: int) -> None:
+        while len(self._states) > self.max_size:
+            victim = min(
+                (s for s in self._states.values() if s.state_id != protect),
+                key=lambda s: s.last_active_step,
+            )
+            del self._states[victim.state_id]
+
+    def get(self, state_id: int) -> ConceptState:
+        return self._states[state_id]
+
+    def remove(self, state_id: int) -> None:
+        self._states.pop(state_id, None)
+
+    def states(self) -> List[ConceptState]:
+        """All stored states (insertion order)."""
+        return list(self._states.values())
+
+    def __contains__(self, state_id: int) -> bool:
+        return state_id in self._states
+
+    def __len__(self) -> int:
+        return len(self._states)

@@ -1,0 +1,70 @@
+"""Restricted FiCSUM variants used throughout the evaluation.
+
+* **ER** — the classic error-rate representation: the fingerprint is
+  the single window error rate, compared with the univariate inverse-
+  difference similarity.
+* **S-MI** — supervised meta-information only: behaviour sources are
+  the labels, predicted labels, errors and error distances.
+* **U-MI** — unsupervised only: the input-feature sources.
+* **single-function** — one Table V meta-information group (e.g. only
+  ``skew``) over all behaviour sources.
+
+Every variant is a full :class:`~repro.core.ficsum.Ficsum` instance —
+same windows, weighting, ADWIN and repository — differing only in its
+fingerprint schema, exactly as in Section VI of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.config import FicsumConfig
+from repro.core.ficsum import Ficsum
+
+
+def _base_config(config: Optional[FicsumConfig]) -> FicsumConfig:
+    return config if config is not None else FicsumConfig()
+
+
+def make_ficsum(
+    n_features: int, n_classes: int, config: Optional[FicsumConfig] = None
+) -> Ficsum:
+    """The full framework: all sources, all 13 functions."""
+    cfg = replace(_base_config(config), source_set="all", functions=None)
+    return Ficsum(n_features, n_classes, cfg)
+
+
+def make_error_rate_variant(
+    n_features: int, n_classes: int, config: Optional[FicsumConfig] = None
+) -> Ficsum:
+    """ER: a single error-rate meta-information feature."""
+    cfg = replace(_base_config(config), source_set="error_rate", functions=None)
+    return Ficsum(n_features, n_classes, cfg)
+
+
+def make_supervised_variant(
+    n_features: int, n_classes: int, config: Optional[FicsumConfig] = None
+) -> Ficsum:
+    """S-MI: label / prediction / error behaviour sources only."""
+    cfg = replace(_base_config(config), source_set="supervised", functions=None)
+    return Ficsum(n_features, n_classes, cfg)
+
+
+def make_unsupervised_variant(
+    n_features: int, n_classes: int, config: Optional[FicsumConfig] = None
+) -> Ficsum:
+    """U-MI: input-feature behaviour sources only."""
+    cfg = replace(_base_config(config), source_set="unsupervised", functions=None)
+    return Ficsum(n_features, n_classes, cfg)
+
+
+def make_single_function_variant(
+    group: str,
+    n_features: int,
+    n_classes: int,
+    config: Optional[FicsumConfig] = None,
+) -> Ficsum:
+    """One meta-information group (Table V row) over all sources."""
+    cfg = replace(_base_config(config), source_set="all", functions=(group,))
+    return Ficsum(n_features, n_classes, cfg)

@@ -1,0 +1,31 @@
+"""Common interface for streaming drift detectors."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class DriftDetector(ABC):
+    """A one-pass change detector over a univariate value stream.
+
+    Subclasses set :attr:`in_drift` (and optionally :attr:`in_warning`)
+    as a side effect of :meth:`update`.  Both flags describe the state
+    *after* the most recent update.  Detectors reset themselves after
+    signalling a drift, so a single instance can monitor a stream across
+    many changes.
+    """
+
+    def __init__(self) -> None:
+        self.in_drift = False
+        self.in_warning = False
+
+    @abstractmethod
+    def update(self, value: float) -> bool:
+        """Consume one value; return ``True`` when a drift is detected."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Forget all history and return to the initial state."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(in_drift={self.in_drift})"

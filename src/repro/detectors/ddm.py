@@ -1,0 +1,72 @@
+"""DDM: Drift Detection Method (Gama et al., SBIA 2004).
+
+Monitors a Bernoulli error stream.  With ``p_i`` the running error rate
+after ``i`` examples and ``s_i = sqrt(p_i (1 - p_i) / i)``, the method
+tracks the minimum of ``p_i + s_i`` and signals
+
+* a *warning* when ``p_i + s_i >= p_min + warning_level * s_min``, and
+* a *drift*   when ``p_i + s_i >= p_min + drift_level * s_min``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.detectors.base import DriftDetector
+
+
+class Ddm(DriftDetector):
+    """Error-rate drift detector with warning and drift thresholds."""
+
+    def __init__(
+        self,
+        warning_level: float = 2.0,
+        drift_level: float = 3.0,
+        min_samples: int = 30,
+    ) -> None:
+        super().__init__()
+        if drift_level <= warning_level:
+            raise ValueError(
+                "drift_level must exceed warning_level "
+                f"({drift_level} <= {warning_level})"
+            )
+        self.warning_level = warning_level
+        self.drift_level = drift_level
+        self.min_samples = min_samples
+        self.reset()
+
+    def reset(self) -> None:
+        self._n = 0
+        self._p = 1.0
+        self._s = 0.0
+        self._p_min = math.inf
+        self._s_min = math.inf
+        self._ps_min = math.inf
+        self.in_drift = False
+        self.in_warning = False
+
+    def update(self, value: float) -> bool:
+        """Consume a 0/1 error indicator (1 = misclassified)."""
+        error = 1.0 if value else 0.0
+        self._n += 1
+        self._p += (error - self._p) / self._n
+        self._s = math.sqrt(self._p * (1.0 - self._p) / self._n)
+
+        self.in_drift = False
+        self.in_warning = False
+        if self._n < self.min_samples:
+            return False
+
+        if self._p + self._s <= self._ps_min:
+            self._p_min = self._p
+            self._s_min = self._s
+            self._ps_min = self._p + self._s
+
+        level = self._p + self._s
+        if level >= self._p_min + self.drift_level * self._s_min:
+            self.in_drift = True
+            self.reset()
+            self.in_drift = True
+        elif level >= self._p_min + self.warning_level * self._s_min:
+            self.in_warning = True
+        return self.in_drift

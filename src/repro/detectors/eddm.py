@@ -1,0 +1,82 @@
+"""EDDM: Early Drift Detection Method (Baena-García et al., 2006).
+
+Instead of the raw error rate, EDDM monitors the *distance between
+consecutive errors*.  Under a stable concept the classifier improves and
+the mean error distance ``p_i`` grows; a drift shortens it.  With
+``(p_i + 2 s_i)`` the tracked statistic and ``(p_max + 2 s_max)`` its
+historical maximum, EDDM signals a warning when the ratio drops below
+``alpha`` (0.95) and a drift when it drops below ``beta`` (0.90).
+
+This is the drift detector of the RCD baseline (Table VI).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.detectors.base import DriftDetector
+
+
+class Eddm(DriftDetector):
+    """Distance-between-errors drift detector."""
+
+    def __init__(
+        self,
+        alpha: float = 0.95,
+        beta: float = 0.9,
+        min_errors: int = 30,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < beta < alpha <= 1.0:
+            raise ValueError(f"need 0 < beta < alpha <= 1, got {alpha=}, {beta=}")
+        self.alpha = alpha
+        self.beta = beta
+        self.min_errors = min_errors
+        self.reset()
+
+    def reset(self) -> None:
+        self._step = 0
+        self._last_error_step = -1
+        self._n_errors = 0
+        self._dist_mean = 0.0
+        self._dist_m2 = 0.0
+        self._max_level = -math.inf
+        self.in_drift = False
+        self.in_warning = False
+
+    def update(self, value: float) -> bool:
+        """Consume a 0/1 error indicator (1 = misclassified)."""
+        self.in_drift = False
+        self.in_warning = False
+        self._step += 1
+        if not value:
+            return False
+
+        if self._last_error_step >= 0:
+            distance = float(self._step - self._last_error_step)
+            self._n_errors += 1
+            delta = distance - self._dist_mean
+            self._dist_mean += delta / self._n_errors
+            self._dist_m2 += delta * (distance - self._dist_mean)
+        self._last_error_step = self._step
+
+        if self._n_errors < self.min_errors:
+            return False
+        std = math.sqrt(self._dist_m2 / self._n_errors)
+        level = self._dist_mean + 2.0 * std
+        # Track the maximum only once the distance statistics are
+        # mature; otherwise a noisy early estimate sets an unreachable
+        # bar and every later ratio reads as drift.
+        if level > self._max_level:
+            self._max_level = level
+        if self._max_level <= 0:
+            return False
+
+        ratio = level / self._max_level
+        if ratio < self.beta:
+            self.in_drift = True
+            self.reset()
+            self.in_drift = True
+        elif ratio < self.alpha:
+            self.in_warning = True
+        return self.in_drift

@@ -1,0 +1,115 @@
+"""HDDM-A: Hoeffding-bound drift detector, averages variant.
+
+Frías-Blanco et al., "Online and Non-Parametric Drift Detection Methods
+Based on Hoeffding's Bounds" (TKDE 2015).  The A-test compares the mean
+of the whole sequence against the minimum (for increasing monitored
+values: maximum) mean observed so far, using Hoeffding's inequality to
+bound the deviation:
+
+    eps(n) = sqrt( ln(1/alpha) / (2 n) )
+
+A drift is signalled when the current overall mean exceeds the best
+recorded mean by more than ``eps_cut = eps(n_best) + eps(n)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.detectors.base import DriftDetector
+from repro.utils.validation import check_probability
+
+
+class HddmA(DriftDetector):
+    """One-sided Hoeffding drift test on a bounded value stream.
+
+    Parameters
+    ----------
+    drift_confidence / warning_confidence:
+        The ``alpha`` levels of the drift and warning tests.
+    two_sided:
+        When True, also detect *decreases* of the mean (needed when
+        monitoring similarity values rather than error indicators).
+    """
+
+    def __init__(
+        self,
+        drift_confidence: float = 0.001,
+        warning_confidence: float = 0.005,
+        two_sided: bool = False,
+    ) -> None:
+        super().__init__()
+        check_probability(drift_confidence, "drift_confidence")
+        check_probability(warning_confidence, "warning_confidence")
+        if warning_confidence < drift_confidence:
+            raise ValueError("warning_confidence must be >= drift_confidence")
+        self.drift_confidence = drift_confidence
+        self.warning_confidence = warning_confidence
+        self.two_sided = two_sided
+        self.reset()
+
+    def reset(self) -> None:
+        self._total = 0.0
+        self._n = 0
+        self._min_mean = math.inf
+        self._min_n = 0
+        self._max_mean = -math.inf
+        self._max_n = 0
+        self.in_drift = False
+        self.in_warning = False
+
+    @staticmethod
+    def _eps(n: int, confidence: float) -> float:
+        return math.sqrt(math.log(1.0 / confidence) / (2.0 * n))
+
+    def _mean_bound(self, n: int, confidence: float) -> float:
+        return self._eps(n, confidence)
+
+    def update(self, value: float) -> bool:
+        self.in_drift = False
+        self.in_warning = False
+        self._total += float(value)
+        self._n += 1
+        mean = self._total / self._n
+
+        eps_now_drift = self._eps(self._n, self.drift_confidence)
+        if mean + eps_now_drift < self._min_mean:
+            self._min_mean = mean + eps_now_drift
+            self._min_n = self._n
+        if mean - eps_now_drift > self._max_mean:
+            self._max_mean = mean - eps_now_drift
+            self._max_n = self._n
+
+        if self._min_n and self._test(mean, self._min_mean, self._min_n, "up"):
+            self.in_drift = True
+        elif self.two_sided and self._max_n and self._test(
+            mean, self._max_mean, self._max_n, "down"
+        ):
+            self.in_drift = True
+        elif self._min_n and self._warn(mean, self._min_mean, self._min_n, "up"):
+            self.in_warning = True
+        elif self.two_sided and self._max_n and self._warn(
+            mean, self._max_mean, self._max_n, "down"
+        ):
+            self.in_warning = True
+
+        if self.in_drift:
+            self.reset()
+            self.in_drift = True
+        return self.in_drift
+
+    def _test(self, mean: float, ref: float, ref_n: int, direction: str) -> bool:
+        eps = self._eps(self._n, self.drift_confidence) + self._eps(
+            ref_n, self.drift_confidence
+        )
+        if direction == "up":
+            return mean - ref > eps
+        return ref - mean > eps
+
+    def _warn(self, mean: float, ref: float, ref_n: int, direction: str) -> bool:
+        eps = self._eps(self._n, self.warning_confidence) + self._eps(
+            ref_n, self.warning_confidence
+        )
+        if direction == "up":
+            return mean - ref > eps
+        return ref - mean > eps

@@ -1,0 +1,82 @@
+"""Page-Hinkley test for abrupt mean changes in a value stream.
+
+Classic sequential-analysis CUSUM variant: accumulate deviations of the
+observed values from their running mean (minus a tolerance ``delta``)
+and signal a drift when the accumulated sum rises more than ``lambda_``
+above its historical minimum.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.detectors.base import DriftDetector
+
+
+class PageHinkley(DriftDetector):
+    """Page-Hinkley change detector.
+
+    Parameters
+    ----------
+    delta:
+        Magnitude tolerance: deviations below this are ignored.
+    lambda_:
+        Detection threshold on the cumulative statistic.
+    alpha:
+        Forgetting factor applied to the running mean (1.0 = none).
+    two_sided:
+        Track both increases and decreases of the mean.
+    """
+
+    def __init__(
+        self,
+        delta: float = 0.005,
+        lambda_: float = 50.0,
+        alpha: float = 1.0,
+        min_samples: int = 30,
+        two_sided: bool = True,
+    ) -> None:
+        super().__init__()
+        if lambda_ <= 0:
+            raise ValueError(f"lambda_ must be positive, got {lambda_}")
+        self.delta = delta
+        self.lambda_ = lambda_
+        self.alpha = alpha
+        self.min_samples = min_samples
+        self.two_sided = two_sided
+        self.reset()
+
+    def reset(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._sum_up = 0.0
+        self._min_up = 0.0
+        self._sum_down = 0.0
+        self._max_down = 0.0
+        self.in_drift = False
+        self.in_warning = False
+
+    def update(self, value: float) -> bool:
+        self.in_drift = False
+        value = float(value)
+        self._n += 1
+        self._mean += (value - self._mean) / self._n
+
+        self._sum_up = self.alpha * self._sum_up + (value - self._mean - self.delta)
+        self._min_up = min(self._min_up, self._sum_up)
+        self._sum_down = self.alpha * self._sum_down + (
+            value - self._mean + self.delta
+        )
+        self._max_down = max(self._max_down, self._sum_down)
+
+        if self._n < self.min_samples:
+            return False
+        increased = self._sum_up - self._min_up > self.lambda_
+        decreased = self.two_sided and (
+            self._max_down - self._sum_down > self.lambda_
+        )
+        if increased or decreased:
+            self.in_drift = True
+            self.reset()
+            self.in_drift = True
+        return self.in_drift

@@ -1,0 +1,44 @@
+"""Summaries of discrimination-ability samples (Tables III and V).
+
+A discrimination sample is the z-score gap between how well the *true*
+concept representation explains a window and how well every other
+stored representation does (see :class:`repro.core.ficsum.Ficsum`).
+The paper reports the mean (std) per dataset and prints ``>500`` for
+normalisation outliers; :func:`summarize_discrimination` reproduces
+that presentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+#: Display clip used by the paper's Table V ("outliers due to
+#: normalization are marked as >500").
+DISPLAY_CLIP = 500.0
+
+
+@dataclass(frozen=True)
+class DiscriminationSummary:
+    mean: float
+    std: float
+    n_samples: int
+
+    def formatted(self, clip: float = DISPLAY_CLIP) -> str:
+        """Paper-style cell: "mean (std)" with the >clip convention."""
+        if self.n_samples == 0:
+            return "-"
+        mean = f">{clip:.0f}" if self.mean > clip else f"{self.mean:.2f}"
+        std = f">{clip:.0f}" if self.std > clip else f"{self.std:.2f}"
+        return f"{mean} ({std})"
+
+
+def summarize_discrimination(samples: Sequence[float]) -> DiscriminationSummary:
+    """Mean/std of discrimination samples (robust to empty input)."""
+    cleaned = [s for s in samples if np.isfinite(s)]
+    if not cleaned:
+        return DiscriminationSummary(0.0, 0.0, 0)
+    arr = np.asarray(cleaned, dtype=np.float64)
+    return DiscriminationSummary(float(arr.mean()), float(arr.std()), len(arr))

@@ -1,0 +1,102 @@
+"""Classification and concept-tracking metrics.
+
+Two headline measures from the paper:
+
+* the **kappa statistic** — chance-corrected prequential accuracy,
+  computed from the stream-long confusion matrix;
+* the **co-occurrence F1 (C-F1)** of Section II — how well the
+  system's active concept representations track the ground-truth
+  concepts: for every ground-truth concept ``C`` the representation
+  ``M`` maximising the F1 of the indicator sequences ``m_t = M`` vs
+  ``c_t = C`` is found, and C-F1 is the average of those maxima.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+class ConfusionMatrix:
+    """Streaming confusion matrix with accuracy and Cohen's kappa."""
+
+    def __init__(self, n_classes: int) -> None:
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+        self.n_classes = n_classes
+        self.matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+
+    def update(self, y_true: int, y_pred: int) -> None:
+        self.matrix[y_true, y_pred] += 1
+
+    @property
+    def total(self) -> int:
+        return int(self.matrix.sum())
+
+    @property
+    def accuracy(self) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return float(np.trace(self.matrix)) / total
+
+    @property
+    def kappa(self) -> float:
+        """Cohen's kappa; 0 when expected agreement is 1 (degenerate)."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        observed = self.accuracy
+        row = self.matrix.sum(axis=1) / total
+        col = self.matrix.sum(axis=0) / total
+        expected = float(np.dot(row, col))
+        if expected >= 1.0:
+            return 0.0
+        return (observed - expected) / (1.0 - expected)
+
+
+def cohens_kappa(y_true: Sequence[int], y_pred: Sequence[int], n_classes: int) -> float:
+    """Kappa of two label sequences (convenience wrapper)."""
+    cm = ConfusionMatrix(n_classes)
+    for t, p in zip(y_true, y_pred):
+        cm.update(int(t), int(p))
+    return cm.kappa
+
+
+def co_occurrence_f1(
+    concept_ids: Sequence[int], state_ids: Sequence[int]
+) -> float:
+    """The C-F1 measure of Section II.
+
+    ``concept_ids`` is the ground-truth concept per timestep;
+    ``state_ids`` is the system's active representation per timestep.
+    For each concept ``C``, precision/recall of each representation
+    ``M`` follow from the joint occurrence counts, and ``C`` is scored
+    by its best-F1 representation; C-F1 averages over concepts.
+    """
+    if len(concept_ids) != len(state_ids):
+        raise ValueError(
+            f"length mismatch: {len(concept_ids)} vs {len(state_ids)}"
+        )
+    if not concept_ids:
+        return 0.0
+    joint: Dict[int, Counter] = defaultdict(Counter)
+    state_totals: Counter = Counter()
+    concept_totals: Counter = Counter()
+    for c, m in zip(concept_ids, state_ids):
+        joint[c][m] += 1
+        state_totals[m] += 1
+        concept_totals[c] += 1
+
+    f1_sum = 0.0
+    for concept, counts in joint.items():
+        best = 0.0
+        for state, overlap in counts.items():
+            precision = overlap / state_totals[state]
+            recall = overlap / concept_totals[concept]
+            if precision + recall > 0:
+                best = max(best, 2.0 * precision * recall / (precision + recall))
+        f1_sum += best
+    return f1_sum / len(joint)

@@ -1,0 +1,140 @@
+"""High-level experiment driver: build a named system, run it on a
+named dataset.
+
+The benchmark harness and examples both go through this module, so
+every table of the paper is regenerated from the same code path:
+``run_on_dataset(system_name, dataset_name, seed, ...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Optional
+
+from repro.baselines import Arf, Cpf, Dwm, Htcd, Rcd
+from repro.core import (
+    FicsumConfig,
+    make_error_rate_variant,
+    make_ficsum,
+    make_single_function_variant,
+    make_supervised_variant,
+    make_unsupervised_variant,
+)
+from repro.evaluation.prequential import RunResult, prequential_run
+from repro.metafeatures.base import FUNCTION_GROUPS
+from repro.streams import make_dataset
+from repro.streams.base import StreamMeta
+from repro.system import AdaptiveSystem
+
+SystemBuilder = Callable[[StreamMeta, Optional[FicsumConfig], int], AdaptiveSystem]
+
+
+def _ficsum_builder(factory) -> SystemBuilder:
+    def build(
+        meta: StreamMeta, config: Optional[FicsumConfig], seed: int
+    ) -> AdaptiveSystem:
+        cfg = config if config is not None else FicsumConfig()
+        cfg = replace(cfg, seed=seed)
+        return factory(meta.n_features, meta.n_classes, cfg)
+
+    return build
+
+
+def _with_oracle(config: Optional[FicsumConfig], oracle: bool) -> Optional[FicsumConfig]:
+    """FiCSUM only acts on signal_drift when its config says oracle."""
+    if not oracle:
+        return config
+    cfg = config if config is not None else FicsumConfig()
+    return replace(cfg, oracle_drift=True)
+
+
+def _single_function_builder(group: str) -> SystemBuilder:
+    def build(
+        meta: StreamMeta, config: Optional[FicsumConfig], seed: int
+    ) -> AdaptiveSystem:
+        cfg = config if config is not None else FicsumConfig()
+        cfg = replace(cfg, seed=seed)
+        return make_single_function_variant(
+            group, meta.n_features, meta.n_classes, cfg
+        )
+
+    return build
+
+
+def _build_htcd(meta, config, seed):
+    return Htcd(meta.n_features, meta.n_classes, seed=seed)
+
+
+def _build_rcd(meta, config, seed):
+    return Rcd(meta.n_features, meta.n_classes, seed=seed)
+
+
+def _build_dwm(meta, config, seed):
+    return Dwm(meta.n_features, meta.n_classes)
+
+
+def _build_arf(meta, config, seed):
+    return Arf(meta.n_features, meta.n_classes, seed=seed)
+
+
+def _build_cpf(meta, config, seed):
+    return Cpf(meta.n_features, meta.n_classes, seed=seed)
+
+
+#: Name -> builder.  "ficsum", the restricted variants, the Table V
+#: single-function variants ("fn:<group>") and the Table VI frameworks.
+SYSTEM_BUILDERS: Dict[str, SystemBuilder] = {
+    "ficsum": _ficsum_builder(make_ficsum),
+    "er": _ficsum_builder(make_error_rate_variant),
+    "smi": _ficsum_builder(make_supervised_variant),
+    "umi": _ficsum_builder(make_unsupervised_variant),
+    "htcd": _build_htcd,
+    "rcd": _build_rcd,
+    "dwm": _build_dwm,
+    "arf": _build_arf,
+    "cpf": _build_cpf,
+}
+for _group in FUNCTION_GROUPS:
+    SYSTEM_BUILDERS[f"fn:{_group}"] = _single_function_builder(_group)
+
+
+def build_system(
+    name: str,
+    meta: StreamMeta,
+    config: Optional[FicsumConfig] = None,
+    seed: int = 0,
+) -> AdaptiveSystem:
+    """Instantiate a registered system for a stream's metadata."""
+    if name not in SYSTEM_BUILDERS:
+        raise KeyError(
+            f"unknown system {name!r}; available: {sorted(SYSTEM_BUILDERS)}"
+        )
+    return SYSTEM_BUILDERS[name](meta, config, seed)
+
+
+def run_on_dataset(
+    system_name: str,
+    dataset_name: str,
+    seed: int = 0,
+    segment_length: Optional[int] = None,
+    n_repeats: int = 9,
+    config: Optional[FicsumConfig] = None,
+    oracle_drift: bool = False,
+    keep_history: bool = False,
+) -> RunResult:
+    """One prequential run of a named system on a named dataset."""
+    stream = make_dataset(
+        dataset_name,
+        seed=seed,
+        segment_length=segment_length,
+        n_repeats=n_repeats,
+    )
+    system = build_system(
+        system_name,
+        stream.meta,
+        config=_with_oracle(config, oracle_drift),
+        seed=seed,
+    )
+    return prequential_run(
+        system, stream, oracle_drift=oracle_drift, keep_history=keep_history
+    )

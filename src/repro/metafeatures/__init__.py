@@ -1,0 +1,33 @@
+"""Meta-information functions (Table I) and the fingerprint extractor.
+
+A meta-information function maps a univariate behaviour-source sequence
+to one real value (Definitions 1 and 2 of the paper).  FiCSUM uses 13
+of them, spanning distribution shape (mean, standard deviation, skew,
+kurtosis), temporal dependence (autocorrelation and partial
+autocorrelation at lags 1-2, lagged mutual information), oscillation
+(turning-point rate), behaviour across timescales (entropy of the first
+two intrinsic mode functions from empirical mode decomposition) and
+feature importance (a window-Shapley value).
+"""
+
+from repro.metafeatures.base import (
+    FUNCTION_NAMES,
+    FUNCTION_GROUPS,
+    N_FUNCTIONS,
+    compute_scalar_function,
+)
+from repro.metafeatures.extractor import FingerprintExtractor, FingerprintSchema
+from repro.metafeatures.emd import empirical_mode_decomposition, imf_energy_entropy
+from repro.metafeatures.shapley import window_permutation_importance
+
+__all__ = [
+    "FUNCTION_NAMES",
+    "FUNCTION_GROUPS",
+    "N_FUNCTIONS",
+    "compute_scalar_function",
+    "FingerprintExtractor",
+    "FingerprintSchema",
+    "empirical_mode_decomposition",
+    "imf_energy_entropy",
+    "window_permutation_importance",
+]

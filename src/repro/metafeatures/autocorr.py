@@ -1,0 +1,56 @@
+"""Temporal-dependence meta-information: ACF and PACF at lags 1 and 2.
+
+The sample autocorrelation at lag ``k`` uses the standard biased
+estimator ``r_k = sum((x_t - mu)(x_{t+k} - mu)) / sum((x_t - mu)^2)``.
+Partial autocorrelations follow from the Durbin-Levinson recursion:
+``pacf(1) = r_1`` and ``pacf(2) = (r_2 - r_1^2) / (1 - r_1^2)``.
+Constant or too-short sequences yield 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def row_acf(matrix: np.ndarray, lag: int) -> np.ndarray:
+    """Row-wise lag-``k`` autocorrelation of a ``(n, w)`` matrix."""
+    if lag <= 0:
+        raise ValueError(f"lag must be positive, got {lag}")
+    n, w = matrix.shape
+    out = np.zeros(n)
+    if w <= lag + 1:
+        return out
+    centered = matrix - matrix.mean(axis=1, keepdims=True)
+    denom = (centered**2).sum(axis=1)
+    numer = (centered[:, :-lag] * centered[:, lag:]).sum(axis=1)
+    ok = denom > _EPS
+    out[ok] = numer[ok] / denom[ok]
+    return out
+
+
+def row_pacf2(acf1: np.ndarray, acf2: np.ndarray) -> np.ndarray:
+    """Lag-2 partial autocorrelation from lag-1/2 autocorrelations."""
+    denom = 1.0 - acf1 * acf1
+    out = np.zeros_like(acf1)
+    ok = np.abs(denom) > _EPS
+    out[ok] = (acf2[ok] - acf1[ok] * acf1[ok]) / denom[ok]
+    return np.clip(out, -1.0, 1.0)
+
+
+def seq_acf(x: np.ndarray, lag: int) -> float:
+    if x.size <= lag + 1:
+        return 0.0
+    return float(row_acf(x[None, :], lag)[0])
+
+
+def seq_pacf(x: np.ndarray, lag: int) -> float:
+    """Scalar PACF for lag 1 or 2."""
+    if lag == 1:
+        return seq_acf(x, 1)
+    if lag == 2:
+        r1 = np.array([seq_acf(x, 1)])
+        r2 = np.array([seq_acf(x, 2)])
+        return float(row_pacf2(r1, r2)[0])
+    raise ValueError(f"only lags 1 and 2 are supported, got {lag}")

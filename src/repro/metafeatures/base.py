@@ -1,0 +1,102 @@
+"""Meta-information function registry.
+
+The 13 functions of Table I, addressable individually or through the
+10 *groups* the paper's Table V evaluates (autocorrelation, partial
+autocorrelation and IMF entropy each contribute two lags/modes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.metafeatures import autocorr, moments, mutual_info, turning_points
+from repro.metafeatures.emd import imf_entropies
+
+FUNCTION_NAMES: Tuple[str, ...] = (
+    "mean",
+    "std",
+    "skew",
+    "kurtosis",
+    "acf1",
+    "acf2",
+    "pacf1",
+    "pacf2",
+    "mi",
+    "turning_rate",
+    "imf1_entropy",
+    "imf2_entropy",
+    "shapley",
+)
+
+N_FUNCTIONS = len(FUNCTION_NAMES)
+
+#: Table V rows -> the individual functions they bundle.
+FUNCTION_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "mean": ("mean",),
+    "std": ("std",),
+    "skew": ("skew",),
+    "kurtosis": ("kurtosis",),
+    "autocorrelation": ("acf1", "acf2"),
+    "partial_autocorrelation": ("pacf1", "pacf2"),
+    "mutual_information": ("mi",),
+    "turning_point_rate": ("turning_rate",),
+    "imf_entropy": ("imf1_entropy", "imf2_entropy"),
+    "shapley": ("shapley",),
+}
+
+
+def expand_functions(names: Sequence[str]) -> Tuple[str, ...]:
+    """Resolve a mix of function and group names to function names."""
+    out = []
+    for name in names:
+        if name in FUNCTION_GROUPS:
+            out.extend(FUNCTION_GROUPS[name])
+        elif name in FUNCTION_NAMES:
+            out.append(name)
+        else:
+            raise ValueError(
+                f"unknown meta-information function {name!r}; "
+                f"known functions: {FUNCTION_NAMES}, groups: {tuple(FUNCTION_GROUPS)}"
+            )
+    seen = set()
+    unique = [n for n in out if not (n in seen or seen.add(n))]
+    return tuple(unique)
+
+
+def compute_scalar_function(name: str, x: np.ndarray) -> float:
+    """Evaluate one meta-information function on an arbitrary sequence.
+
+    Used for the variable-length distance-between-errors source.  The
+    Shapley function needs a classifier and a feature matrix, so it is
+    undefined for plain sequences and contributes 0 here.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if name == "mean":
+        return moments.seq_mean(x)
+    if name == "std":
+        return moments.seq_std(x)
+    if name == "skew":
+        return moments.seq_skew(x)
+    if name == "kurtosis":
+        return moments.seq_kurtosis(x)
+    if name == "acf1":
+        return autocorr.seq_acf(x, 1)
+    if name == "acf2":
+        return autocorr.seq_acf(x, 2)
+    if name == "pacf1":
+        return autocorr.seq_pacf(x, 1)
+    if name == "pacf2":
+        return autocorr.seq_pacf(x, 2)
+    if name == "mi":
+        return mutual_info.lagged_mutual_information(x)
+    if name == "turning_rate":
+        return turning_points.seq_turning_rate(x)
+    if name == "imf1_entropy":
+        return float(imf_entropies(x, 2)[0])
+    if name == "imf2_entropy":
+        return float(imf_entropies(x, 2)[1])
+    if name == "shapley":
+        return 0.0
+    raise ValueError(f"unknown meta-information function {name!r}")

@@ -1,0 +1,125 @@
+"""Empirical mode decomposition and IMF energy entropy.
+
+Ding & Luo (2019) — reference [10] of the paper — extract concept-drift
+meta-information from the entropy of intrinsic mode functions (IMFs).
+An IMF is obtained by *sifting*: repeatedly subtracting the mean of the
+upper and lower extrema envelopes until the residue is locally
+symmetric.  FiCSUM uses the energy entropy of the first two IMFs as two
+of its 13 meta-information functions; they respond to changes in the
+timescale structure of a behaviour source (e.g. an injected sine
+overlay) that moment features cannot see.
+
+Envelope interpolation is configurable: the classical choice is a cubic
+spline through the extrema; the default here is linear interpolation,
+which is an order of magnitude faster on 75-observation windows and
+preserves the property the meta-information feature needs (the first
+IMF isolates the fastest oscillation, so its energy entropy responds to
+frequency/autocorrelation drift).  Sifting depth is capped
+(``max_siftings``) to keep the per-window cost bounded — the paper's
+complexity analysis likewise treats fingerprinting as O(w log w).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+from scipy.interpolate import CubicSpline
+
+_EPS = 1e-12
+
+
+def _local_extrema(x: np.ndarray) -> tuple:
+    """Indices of strict local maxima and minima of a sequence."""
+    diff = np.diff(x)
+    rising = diff > 0
+    falling = diff < 0
+    maxima = np.where(rising[:-1] & falling[1:])[0] + 1
+    minima = np.where(falling[:-1] & rising[1:])[0] + 1
+    return maxima, minima
+
+
+def _envelope(x: np.ndarray, idx: np.ndarray, spline: str) -> np.ndarray:
+    """Interpolated envelope through the extrema, clamped at both ends."""
+    n = x.size
+    t = np.arange(n)
+    knots = np.concatenate(([0], idx, [n - 1]))
+    knots = np.unique(knots)
+    values = x[knots]
+    if spline == "cubic" and knots.size >= 4:
+        return CubicSpline(knots, values)(t)
+    return np.interp(t, knots, values)
+
+
+def empirical_mode_decomposition(
+    x: np.ndarray,
+    max_imfs: int = 2,
+    max_siftings: int = 4,
+    tolerance: float = 0.2,
+    spline: str = "linear",
+) -> List[np.ndarray]:
+    """Extract up to ``max_imfs`` intrinsic mode functions.
+
+    Returns a (possibly shorter) list of IMFs; a monotonic or
+    feature-less residue stops the decomposition early.  ``spline`` is
+    ``"linear"`` (fast default) or ``"cubic"`` (classical envelopes).
+    """
+    if spline not in ("linear", "cubic"):
+        raise ValueError(f"spline must be 'linear' or 'cubic', got {spline!r}")
+    x = np.asarray(x, dtype=np.float64)
+    if x.size < 8:
+        return []
+    residue = x.copy()
+    imfs: List[np.ndarray] = []
+    for _ in range(max_imfs):
+        maxima, minima = _local_extrema(residue)
+        if maxima.size < 2 or minima.size < 2:
+            break
+        h = residue.copy()
+        for _ in range(max_siftings):
+            maxima, minima = _local_extrema(h)
+            if maxima.size < 2 or minima.size < 2:
+                break
+            upper = _envelope(h, maxima, spline)
+            lower = _envelope(h, minima, spline)
+            mean_env = 0.5 * (upper + lower)
+            h_new = h - mean_env
+            denom = float((h * h).sum())
+            if denom > _EPS:
+                sd = float(((h - h_new) ** 2).sum()) / denom
+                h = h_new
+                if sd < tolerance:
+                    break
+            else:
+                h = h_new
+                break
+        imfs.append(h)
+        residue = residue - h
+    return imfs
+
+
+def imf_energy_entropy(imf: np.ndarray) -> float:
+    """Shannon entropy (nats) of an IMF's normalised energy distribution.
+
+    With ``p_i = x_i^2 / sum_j x_j^2``, the entropy ``-sum p_i ln p_i``
+    is maximal for energy spread evenly across the window and small when
+    energy concentrates in few samples.
+    """
+    imf = np.asarray(imf, dtype=np.float64)
+    energy = imf * imf
+    total = energy.sum()
+    if total <= _EPS:
+        return 0.0
+    p = energy / total
+    p = p[p > _EPS]
+    return float(-(p * np.log(p)).sum())
+
+
+def imf_entropies(x: np.ndarray, n_imfs: int = 2, spline: str = "linear") -> np.ndarray:
+    """Energy entropy of the first ``n_imfs`` IMFs (0 where missing)."""
+    out = np.zeros(n_imfs)
+    imfs = empirical_mode_decomposition(x, max_imfs=n_imfs, spline=spline)
+    for i, imf in enumerate(imfs):
+        out[i] = imf_energy_entropy(imf)
+    return out

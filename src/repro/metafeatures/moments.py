@@ -1,0 +1,66 @@
+"""Distribution-shape meta-information: mean, std, skew, kurtosis.
+
+All functions come in two flavours: a vectorised form operating on a
+``(n_sources, window)`` matrix row-wise (the fingerprint hot path) and
+a scalar form for arbitrary-length sequences (the variable-length
+distance-between-errors source).  Undefined cases (empty or constant
+sequences) return 0 rather than NaN so fingerprints stay finite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def row_means(matrix: np.ndarray) -> np.ndarray:
+    return matrix.mean(axis=1)
+
+
+def row_stds(matrix: np.ndarray) -> np.ndarray:
+    return matrix.std(axis=1)
+
+
+def row_skews(matrix: np.ndarray) -> np.ndarray:
+    """Row-wise sample skewness (0 for constant rows)."""
+    mean = matrix.mean(axis=1, keepdims=True)
+    centered = matrix - mean
+    m2 = (centered**2).mean(axis=1)
+    m3 = (centered**3).mean(axis=1)
+    out = np.zeros(matrix.shape[0])
+    ok = m2 > _EPS
+    out[ok] = m3[ok] / np.power(m2[ok], 1.5)
+    return out
+
+
+def row_kurtoses(matrix: np.ndarray) -> np.ndarray:
+    """Row-wise excess kurtosis (0 for constant rows)."""
+    mean = matrix.mean(axis=1, keepdims=True)
+    centered = matrix - mean
+    m2 = (centered**2).mean(axis=1)
+    m4 = (centered**4).mean(axis=1)
+    out = np.zeros(matrix.shape[0])
+    ok = m2 > _EPS
+    out[ok] = m4[ok] / (m2[ok] ** 2) - 3.0
+    return out
+
+
+def seq_mean(x: np.ndarray) -> float:
+    return float(x.mean()) if x.size else 0.0
+
+
+def seq_std(x: np.ndarray) -> float:
+    return float(x.std()) if x.size else 0.0
+
+
+def seq_skew(x: np.ndarray) -> float:
+    if x.size < 3:
+        return 0.0
+    return float(row_skews(x[None, :])[0])
+
+
+def seq_kurtosis(x: np.ndarray) -> float:
+    if x.size < 4:
+        return 0.0
+    return float(row_kurtoses(x[None, :])[0])

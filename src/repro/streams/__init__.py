@@ -1,0 +1,26 @@
+"""Data stream substrate: concept generators, drift injection, schedules.
+
+A *concept* is a stationary joint distribution ``p(X, y)``; a *stream*
+is a sequence of segments, each drawn from one concept, separated by
+abrupt concept drifts.  Ground-truth concept ids ride along with every
+observation so the evaluation can compute the co-occurrence F1 (C-F1)
+measure of the paper.
+"""
+
+from repro.streams.base import ConceptGenerator, Stream, StreamMeta
+from repro.streams.recurrence import RecurrentStream, build_schedule
+from repro.streams.transforms import FeatureDrift, DriftingConcept
+from repro.streams.datasets import make_dataset, dataset_names, dataset_info
+
+__all__ = [
+    "ConceptGenerator",
+    "Stream",
+    "StreamMeta",
+    "RecurrentStream",
+    "build_schedule",
+    "FeatureDrift",
+    "DriftingConcept",
+    "make_dataset",
+    "dataset_names",
+    "dataset_info",
+]

@@ -1,0 +1,71 @@
+"""Stream and concept-generator interfaces."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+Observation = Tuple[np.ndarray, int, int]
+"""One stream element: ``(feature_vector, label, ground_truth_concept_id)``."""
+
+
+@dataclass(frozen=True)
+class StreamMeta:
+    """Static facts about a stream, known before iteration."""
+
+    n_features: int
+    n_classes: int
+    n_concepts: int
+    length: int
+    name: str = ""
+
+
+class ConceptGenerator(ABC):
+    """A sampler for one stationary concept ``p(X, y)``.
+
+    Generators are stateful only through the random generator passed to
+    :meth:`sample` — two calls with identically-seeded generators produce
+    the same observation sequence, which the tests rely on.  Generators
+    that model temporal structure (autocorrelation, frequency overlays)
+    keep that state internally and expose :meth:`reset_temporal_state`
+    so each segment can start fresh.
+    """
+
+    def __init__(self, n_features: int, n_classes: int) -> None:
+        if n_features <= 0:
+            raise ValueError(f"n_features must be positive, got {n_features}")
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+        self.n_features = n_features
+        self.n_classes = n_classes
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> Tuple[np.ndarray, int]:
+        """Draw one labelled observation from the concept."""
+
+    def reset_temporal_state(self) -> None:
+        """Hook for generators with temporal memory; default: nothing."""
+
+    def take(self, n: int, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` observations as ``(X, y)`` arrays (for tests/fitting)."""
+        xs = np.empty((n, self.n_features))
+        ys = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            xs[i], ys[i] = self.sample(rng)
+        return xs, ys
+
+
+class Stream(ABC):
+    """An iterable of observations with attached metadata."""
+
+    @property
+    @abstractmethod
+    def meta(self) -> StreamMeta:
+        """Static stream metadata."""
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[Observation]:
+        """Yield ``(x, y, concept_id)`` triples."""

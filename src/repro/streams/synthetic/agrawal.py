@@ -1,0 +1,163 @@
+"""AGRAWAL generator (Agrawal et al., TKDE 1993).
+
+The classic loan-application generator used throughout the
+recurring-concept literature (CPF, RCD and DiversityPool all evaluate
+on it).  Nine attributes — salary, commission, age, education level,
+car make, zip code, house value, years owned, loan amount — and ten
+published labelling functions deciding whether a loan is approved.
+A concept is one labelling function, so drift is purely ``p(y|X)``.
+
+Implemented functions 0-9 follow the original paper's definitions;
+``perturbation`` adds proportional noise to the numeric attributes as
+in MOA.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.streams.base import ConceptGenerator
+
+N_FUNCTIONS = 10
+
+
+def _group_a(salary: float, commission: float, age: float, *_rest) -> bool:
+    return age < 40 or age >= 60
+
+
+def _fn0(s, c, a, e, cv, z, hv, hy, l):
+    return _group_a(s, c, a)
+
+
+def _fn1(s, c, a, e, cv, z, hv, hy, l):
+    if a < 40:
+        return 50000 <= s <= 100000
+    if a < 60:
+        return 75000 <= s <= 125000
+    return 25000 <= s <= 75000
+
+
+def _fn2(s, c, a, e, cv, z, hv, hy, l):
+    if a < 40:
+        return e in (0, 1)
+    if a < 60:
+        return e in (1, 2, 3)
+    return e in (2, 3, 4)
+
+
+def _fn3(s, c, a, e, cv, z, hv, hy, l):
+    if a < 40:
+        return (e in (0, 1)) and 25000 <= s <= 75000
+    if a < 60:
+        return (e in (1, 2, 3)) and 50000 <= s <= 100000
+    return (e in (2, 3, 4)) and 25000 <= s <= 75000
+
+
+def _fn4(s, c, a, e, cv, z, hv, hy, l):
+    if a < 40:
+        return 50000 <= s <= 100000 and 100000 <= l <= 300000
+    if a < 60:
+        return 75000 <= s <= 125000 and 200000 <= l <= 400000
+    return 25000 <= s <= 75000 and 300000 <= l <= 500000
+
+
+def _fn5(s, c, a, e, cv, z, hv, hy, l):
+    total = s + c
+    if a < 40:
+        return 50000 <= total <= 100000
+    if a < 60:
+        return 75000 <= total <= 125000
+    return 25000 <= total <= 75000
+
+
+def _fn6(s, c, a, e, cv, z, hv, hy, l):
+    disposable = 0.67 * (s + c) - 0.2 * l - 20000
+    return disposable > 0
+
+
+def _fn7(s, c, a, e, cv, z, hv, hy, l):
+    disposable = 0.67 * (s + c) - 5000 * e - 20000
+    return disposable > 0
+
+
+def _fn8(s, c, a, e, cv, z, hv, hy, l):
+    disposable = 0.67 * (s + c) - 5000 * e - 0.2 * l - 10000
+    return disposable > 0
+
+
+def _fn9(s, c, a, e, cv, z, hv, hy, l):
+    equity = 0.0
+    if hy >= 20:
+        equity = 0.1 * hv * (hy - 20)
+    disposable = 0.67 * (s + c) + 0.2 * equity - 5000 * e - 0.2 * l - 10000
+    return disposable > 0
+
+
+_FUNCTIONS: List[Callable] = [
+    _fn0, _fn1, _fn2, _fn3, _fn4, _fn5, _fn6, _fn7, _fn8, _fn9
+]
+
+
+class AgrawalConcept(ConceptGenerator):
+    """One AGRAWAL concept, selected by ``function`` in [0, 10).
+
+    Features (in order): salary, commission, age, education level,
+    car make, zip code, house value, years house owned, loan amount.
+    """
+
+    def __init__(self, function: int, perturbation: float = 0.0) -> None:
+        super().__init__(n_features=9, n_classes=2)
+        if not 0 <= function < N_FUNCTIONS:
+            raise ValueError(f"function must be in [0, 10), got {function}")
+        if not 0.0 <= perturbation <= 1.0:
+            raise ValueError(
+                f"perturbation must be in [0, 1], got {perturbation}"
+            )
+        self.function = function
+        self.perturbation = perturbation
+
+    def _perturb(self, value: float, lo: float, hi: float, rng) -> float:
+        if self.perturbation <= 0:
+            return value
+        span = (hi - lo) * self.perturbation
+        return float(np.clip(value + rng.uniform(-span, span), lo, hi))
+
+    def sample(self, rng: np.random.Generator) -> Tuple[np.ndarray, int]:
+        salary = rng.uniform(20000, 150000)
+        commission = 0.0 if salary >= 75000 else rng.uniform(10000, 75000)
+        age = float(rng.integers(20, 81))
+        education = float(rng.integers(0, 5))
+        car = float(rng.integers(1, 21))
+        zipcode = float(rng.integers(0, 9))
+        house_value = zipcode * 50000 + rng.uniform(50000, 100000)
+        house_years = float(rng.integers(1, 31))
+        loan = rng.uniform(0, 500000)
+
+        label = int(
+            _FUNCTIONS[self.function](
+                salary, commission, age, education, car, zipcode,
+                house_value, house_years, loan,
+            )
+        )
+        salary = self._perturb(salary, 20000, 150000, rng)
+        commission = self._perturb(commission, 0, 75000, rng)
+        loan = self._perturb(loan, 0, 500000, rng)
+        x = np.array(
+            [
+                salary, commission, age, education, car, zipcode,
+                house_value, house_years, loan,
+            ]
+        )
+        return x, label
+
+
+def agrawal_concepts(
+    n_concepts: int = 4, perturbation: float = 0.0
+) -> List[AgrawalConcept]:
+    """An AGRAWAL concept pool (cycles through the 10 functions)."""
+    return [
+        AgrawalConcept(i % N_FUNCTIONS, perturbation=perturbation)
+        for i in range(n_concepts)
+    ]

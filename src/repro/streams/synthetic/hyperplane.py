@@ -1,0 +1,56 @@
+"""Rotating-hyperplane generator.
+
+A concept labels points by the side of a hyperplane they fall on:
+``y = 1`` iff ``w . x > w . 0.5``.  Different concepts use different
+(seeded) weight vectors.  ``noise`` flips a fraction of labels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.streams.base import ConceptGenerator
+
+
+class HyperplaneConcept(ConceptGenerator):
+    """One hyperplane concept defined by a seeded weight vector."""
+
+    def __init__(
+        self,
+        seed: int,
+        n_features: int = 10,
+        noise: float = 0.05,
+    ) -> None:
+        super().__init__(n_features, n_classes=2)
+        if not 0.0 <= noise < 0.5:
+            raise ValueError(f"noise must be in [0, 0.5), got {noise}")
+        self.noise = noise
+        layout_rng = np.random.default_rng(seed)
+        self.weights = layout_rng.uniform(-1.0, 1.0, size=n_features)
+        # Threshold chosen so classes are balanced for U[0,1]^d inputs.
+        self.threshold = float(self.weights.sum() * 0.5)
+
+    def classify(self, x: np.ndarray) -> int:
+        return int(float(self.weights @ x) > self.threshold)
+
+    def sample(self, rng: np.random.Generator) -> Tuple[np.ndarray, int]:
+        x = rng.uniform(0.0, 1.0, size=self.n_features)
+        label = self.classify(x)
+        if self.noise and rng.random() < self.noise:
+            label = 1 - label
+        return x, label
+
+
+def hyperplane_concepts(
+    n_concepts: int = 6,
+    seed: int = 0,
+    n_features: int = 10,
+    noise: float = 0.05,
+) -> List[HyperplaneConcept]:
+    """A pool of distinct hyperplane concepts with derived seeds."""
+    return [
+        HyperplaneConcept(seed=seed * 1000 + i, n_features=n_features, noise=noise)
+        for i in range(n_concepts)
+    ]

@@ -1,0 +1,78 @@
+"""LED display generator (Breiman et al., 1984; MOA port).
+
+Predict the digit (0-9) shown on a seven-segment LED display from the
+segment states, with a configurable probability of each segment being
+inverted (noise) and optional irrelevant attributes.  A concept is a
+permutation of which attributes carry the segments — drifting the
+permutation relocates the informative attributes, a classic abrupt
+``p(y|X)`` drift used by the drift-detection literature.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.streams.base import ConceptGenerator
+
+#: Segment activation per digit (segments a-g).
+_SEGMENTS = np.array(
+    [
+        [1, 1, 1, 0, 1, 1, 1],  # 0
+        [0, 0, 1, 0, 0, 1, 0],  # 1
+        [1, 0, 1, 1, 1, 0, 1],  # 2
+        [1, 0, 1, 1, 0, 1, 1],  # 3
+        [0, 1, 1, 1, 0, 1, 0],  # 4
+        [1, 1, 0, 1, 0, 1, 1],  # 5
+        [1, 1, 0, 1, 1, 1, 1],  # 6
+        [1, 0, 1, 0, 0, 1, 0],  # 7
+        [1, 1, 1, 1, 1, 1, 1],  # 8
+        [1, 1, 1, 1, 0, 1, 1],  # 9
+    ],
+    dtype=np.float64,
+)
+
+
+class LedConcept(ConceptGenerator):
+    """One LED concept defined by a seeded attribute permutation."""
+
+    def __init__(
+        self,
+        seed: int,
+        noise: float = 0.1,
+        n_irrelevant: int = 17,
+    ) -> None:
+        if not 0.0 <= noise < 0.5:
+            raise ValueError(f"noise must be in [0, 0.5), got {noise}")
+        if n_irrelevant < 0:
+            raise ValueError(f"n_irrelevant must be >= 0, got {n_irrelevant}")
+        super().__init__(n_features=7 + n_irrelevant, n_classes=10)
+        self.noise = noise
+        self.n_irrelevant = n_irrelevant
+        layout_rng = np.random.default_rng(seed)
+        self.permutation = layout_rng.permutation(self.n_features)
+
+    def sample(self, rng: np.random.Generator) -> Tuple[np.ndarray, int]:
+        digit = int(rng.integers(0, 10))
+        segments = _SEGMENTS[digit].copy()
+        if self.noise > 0:
+            flips = rng.random(7) < self.noise
+            segments[flips] = 1.0 - segments[flips]
+        values = np.concatenate(
+            [segments, (rng.random(self.n_irrelevant) < 0.5).astype(float)]
+        )
+        return values[self.permutation], digit
+
+
+def led_concepts(
+    n_concepts: int = 4,
+    seed: int = 0,
+    noise: float = 0.1,
+    n_irrelevant: int = 17,
+) -> List[LedConcept]:
+    """A pool of LED concepts with distinct attribute permutations."""
+    return [
+        LedConcept(seed * 1000 + i, noise=noise, n_irrelevant=n_irrelevant)
+        for i in range(n_concepts)
+    ]

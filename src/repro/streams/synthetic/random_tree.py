@@ -1,0 +1,128 @@
+"""Random-tree generator (scikit-multiflow ``RandomTreeGenerator`` port).
+
+A concept is a randomly built decision tree: internal nodes split a
+random feature at a random threshold, leaves carry a random class.
+Features are sampled uniformly on [0, 1]; the tree assigns the label.
+Different concepts use different trees, so drift is purely in the
+labelling function ``p(y|X)`` — Table V builds on this generator and
+injects feature drift on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.streams.base import ConceptGenerator
+
+
+class _TreeNode:
+    __slots__ = ("feature", "threshold", "left", "right", "label")
+
+    def __init__(self) -> None:
+        self.feature: int = -1
+        self.threshold: float = 0.0
+        self.left: Optional["_TreeNode"] = None
+        self.right: Optional["_TreeNode"] = None
+        self.label: int = -1
+
+
+class RandomTreeConcept(ConceptGenerator):
+    """One random-tree concept defined by a seeded tree."""
+
+    def __init__(
+        self,
+        seed: int,
+        n_features: int = 10,
+        n_classes: int = 2,
+        max_depth: int = 5,
+        min_leaf_depth: int = 3,
+    ) -> None:
+        super().__init__(n_features, n_classes)
+        if min_leaf_depth > max_depth:
+            raise ValueError(
+                f"min_leaf_depth {min_leaf_depth} > max_depth {max_depth}"
+            )
+        self.max_depth = max_depth
+        self.min_leaf_depth = min_leaf_depth
+        build_rng = np.random.default_rng(seed)
+        self._leaf_labels: List[int] = []
+        self._root = self._build(build_rng, depth=0, lows=np.zeros(n_features),
+                                 highs=np.ones(n_features))
+        self._ensure_all_classes(build_rng)
+
+    def _build(
+        self,
+        rng: np.random.Generator,
+        depth: int,
+        lows: np.ndarray,
+        highs: np.ndarray,
+    ) -> _TreeNode:
+        node = _TreeNode()
+        is_leaf = depth >= self.max_depth or (
+            depth >= self.min_leaf_depth and rng.random() < 0.25
+        )
+        if is_leaf:
+            node.label = int(rng.integers(0, self.n_classes))
+            self._leaf_labels.append(node.label)
+            return node
+        feature = int(rng.integers(0, self.n_features))
+        threshold = float(rng.uniform(lows[feature], highs[feature]))
+        node.feature = feature
+        node.threshold = threshold
+        left_highs = highs.copy()
+        left_highs[feature] = threshold
+        right_lows = lows.copy()
+        right_lows[feature] = threshold
+        node.left = self._build(rng, depth + 1, lows, left_highs)
+        node.right = self._build(rng, depth + 1, right_lows, highs)
+        return node
+
+    def _ensure_all_classes(self, rng: np.random.Generator) -> None:
+        """Relabel random leaves until every class appears at least once."""
+        leaves: List[_TreeNode] = []
+
+        def collect(node: _TreeNode) -> None:
+            if node.label >= 0:
+                leaves.append(node)
+            else:
+                collect(node.left)
+                collect(node.right)
+
+        collect(self._root)
+        present = {leaf.label for leaf in leaves}
+        missing = [c for c in range(self.n_classes) if c not in present]
+        for cls in missing:
+            leaf = leaves[int(rng.integers(0, len(leaves)))]
+            leaf.label = cls
+
+    def classify(self, x: np.ndarray) -> int:
+        """Label a feature vector by routing it through the tree."""
+        node = self._root
+        while node.label < 0:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node.label
+
+    def sample(self, rng: np.random.Generator) -> Tuple[np.ndarray, int]:
+        x = rng.uniform(0.0, 1.0, size=self.n_features)
+        return x, self.classify(x)
+
+
+def random_tree_concepts(
+    n_concepts: int = 6,
+    seed: int = 0,
+    n_features: int = 10,
+    n_classes: int = 2,
+    max_depth: int = 5,
+) -> List[RandomTreeConcept]:
+    """A pool of distinct random-tree concepts with derived seeds."""
+    return [
+        RandomTreeConcept(
+            seed=seed * 1000 + i,
+            n_features=n_features,
+            n_classes=n_classes,
+            max_depth=max_depth,
+        )
+        for i in range(n_concepts)
+    ]

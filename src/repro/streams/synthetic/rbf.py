@@ -1,0 +1,73 @@
+"""Random RBF generator (scikit-multiflow ``RandomRBFGenerator`` port).
+
+A concept is a fixed set of Gaussian centroids, each with a class label,
+a weight and a spread.  Sampling picks a centroid (weight-proportional)
+and offsets it by an isotropic Gaussian.  Different concepts use
+different centroid layouts, so drift changes the labelling function
+(regions of space swap class), i.e. mostly ``p(y|X)`` drift with some
+incidental ``p(X)`` movement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.streams.base import ConceptGenerator
+
+
+class RandomRbfConcept(ConceptGenerator):
+    """One RBF concept defined by a seeded centroid layout."""
+
+    def __init__(
+        self,
+        seed: int,
+        n_features: int = 10,
+        n_classes: int = 2,
+        n_centroids: int = 15,
+    ) -> None:
+        super().__init__(n_features, n_classes)
+        if n_centroids < n_classes:
+            raise ValueError(
+                f"need at least one centroid per class "
+                f"({n_centroids} < {n_classes})"
+            )
+        layout_rng = np.random.default_rng(seed)
+        self.centers = layout_rng.uniform(0.0, 1.0, size=(n_centroids, n_features))
+        # Guarantee every class owns at least one centroid.
+        labels = np.concatenate(
+            [
+                np.arange(n_classes),
+                layout_rng.integers(0, n_classes, size=n_centroids - n_classes),
+            ]
+        )
+        layout_rng.shuffle(labels)
+        self.labels = labels
+        weights = layout_rng.uniform(0.1, 1.0, size=n_centroids)
+        self.weights = weights / weights.sum()
+        self.stds = layout_rng.uniform(0.05, 0.12, size=n_centroids)
+
+    def sample(self, rng: np.random.Generator) -> Tuple[np.ndarray, int]:
+        idx = rng.choice(len(self.weights), p=self.weights)
+        offset = rng.normal(0.0, self.stds[idx], size=self.n_features)
+        return self.centers[idx] + offset, int(self.labels[idx])
+
+
+def rbf_concepts(
+    n_concepts: int = 6,
+    seed: int = 0,
+    n_features: int = 10,
+    n_classes: int = 2,
+    n_centroids: int = 15,
+) -> List[RandomRbfConcept]:
+    """A pool of distinct RBF concepts with derived seeds."""
+    return [
+        RandomRbfConcept(
+            seed=seed * 1000 + i,
+            n_features=n_features,
+            n_classes=n_classes,
+            n_centroids=n_centroids,
+        )
+        for i in range(n_concepts)
+    ]

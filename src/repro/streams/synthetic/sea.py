@@ -1,0 +1,42 @@
+"""SEA concepts (Street & Kim, KDD 2001).
+
+Three features uniform on [0, 10]; only the first two matter:
+``y = 1`` iff ``x1 + x2 <= theta``.  The four classic concepts use
+``theta`` in {8, 9, 7, 9.5}.  Label noise is configurable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.streams.base import ConceptGenerator
+
+SEA_THRESHOLDS = (8.0, 9.0, 7.0, 9.5)
+
+
+class SeaConcept(ConceptGenerator):
+    """One SEA concept, selected by ``variant`` in [0, 4)."""
+
+    def __init__(self, variant: int, noise: float = 0.0) -> None:
+        super().__init__(n_features=3, n_classes=2)
+        if not 0 <= variant < len(SEA_THRESHOLDS):
+            raise ValueError(f"variant must be in [0, 4), got {variant}")
+        if not 0.0 <= noise < 0.5:
+            raise ValueError(f"noise must be in [0, 0.5), got {noise}")
+        self.variant = variant
+        self.theta = SEA_THRESHOLDS[variant]
+        self.noise = noise
+
+    def sample(self, rng: np.random.Generator) -> Tuple[np.ndarray, int]:
+        x = rng.uniform(0.0, 10.0, size=3)
+        label = int(x[0] + x[1] <= self.theta)
+        if self.noise and rng.random() < self.noise:
+            label = 1 - label
+        return x, label
+
+
+def sea_concepts(n_concepts: int = 4, noise: float = 0.0) -> List[SeaConcept]:
+    """The SEA concept pool (cycles through the 4 thresholds)."""
+    return [SeaConcept(i % len(SEA_THRESHOLDS), noise=noise) for i in range(n_concepts)]

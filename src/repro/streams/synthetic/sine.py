@@ -1,0 +1,46 @@
+"""SINE concepts (Gama et al. 2004).
+
+Two features uniform on [0, 1]; four classic labelling functions:
+
+0. SINE1:  ``y = 1`` iff ``x2 < sin(x1)``
+1. SINE1 reversed
+2. SINE2:  ``y = 1`` iff ``x2 < 0.5 + 0.3 sin(3 pi x1)``
+3. SINE2 reversed
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.streams.base import ConceptGenerator
+
+
+class SineConcept(ConceptGenerator):
+    """One SINE concept, selected by ``variant`` in [0, 4)."""
+
+    N_VARIANTS = 4
+
+    def __init__(self, variant: int) -> None:
+        super().__init__(n_features=2, n_classes=2)
+        if not 0 <= variant < self.N_VARIANTS:
+            raise ValueError(f"variant must be in [0, 4), got {variant}")
+        self.variant = variant
+
+    def classify(self, x: np.ndarray) -> int:
+        if self.variant < 2:
+            below = x[1] < math.sin(x[0])
+            return int(below) if self.variant == 0 else int(not below)
+        below = x[1] < 0.5 + 0.3 * math.sin(3.0 * math.pi * x[0])
+        return int(below) if self.variant == 2 else int(not below)
+
+    def sample(self, rng: np.random.Generator) -> Tuple[np.ndarray, int]:
+        x = rng.uniform(0.0, 1.0, size=2)
+        return x, self.classify(x)
+
+
+def sine_concepts(n_concepts: int = 4) -> List[SineConcept]:
+    """The SINE concept pool (cycles through the 4 variants)."""
+    return [SineConcept(i % SineConcept.N_VARIANTS) for i in range(n_concepts)]

@@ -1,0 +1,53 @@
+"""STAGGER concepts (Schlimmer & Granger 1986).
+
+Three symbolic attributes — size {small, medium, large}, colour {red,
+green, blue}, shape {square, circle, triangle} — encoded as the numeric
+values 0/1/2, and three classic boolean labelling functions:
+
+0. ``size == small and colour == red``
+1. ``colour == green or shape == circle``
+2. ``size == medium or size == large``
+
+Only the labelling function changes between STAGGER concepts, so drift
+is purely in ``p(y|X)`` — the canonical failure case for unsupervised
+concept representations (Tables III/IV).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.streams.base import ConceptGenerator
+
+_SMALL, _MEDIUM, _LARGE = 0, 1, 2
+_RED, _GREEN, _BLUE = 0, 1, 2
+_SQUARE, _CIRCLE, _TRIANGLE = 0, 1, 2
+
+
+class StaggerConcept(ConceptGenerator):
+    """One STAGGER concept, selected by ``function`` in {0, 1, 2}."""
+
+    N_FUNCTIONS = 3
+
+    def __init__(self, function: int) -> None:
+        super().__init__(n_features=3, n_classes=2)
+        if not 0 <= function < self.N_FUNCTIONS:
+            raise ValueError(f"function must be in [0, 3), got {function}")
+        self.function = function
+
+    def sample(self, rng: np.random.Generator) -> Tuple[np.ndarray, int]:
+        size, colour, shape = rng.integers(0, 3, size=3)
+        if self.function == 0:
+            label = int(size == _SMALL and colour == _RED)
+        elif self.function == 1:
+            label = int(colour == _GREEN or shape == _CIRCLE)
+        else:
+            label = int(size in (_MEDIUM, _LARGE))
+        return np.array([size, colour, shape], dtype=np.float64), label
+
+
+def stagger_concepts(n_concepts: int = 3, seed: int = 0) -> List[StaggerConcept]:
+    """The STAGGER concept pool (cycles through the 3 functions)."""
+    return [StaggerConcept(i % StaggerConcept.N_FUNCTIONS) for i in range(n_concepts)]

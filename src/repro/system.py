@@ -1,0 +1,46 @@
+"""The adaptive-system protocol shared by FiCSUM and every baseline.
+
+The evaluation harness drives systems prequentially (test-then-train):
+for each observation it calls :meth:`process`, which must return the
+prediction made *before* learning from the observation.  Systems expose
+an :attr:`active_state_id` — the identifier of the concept
+representation currently in use — which the harness logs per timestep
+to compute the co-occurrence F1 (C-F1) of Section II.  Single-
+representation systems (plain classifiers, ensembles such as DWM/ARF)
+keep a constant id; repository systems (FiCSUM, RCD) report the id of
+the selected concept; reset-based systems (HTCD) report a fresh id per
+reset.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class AdaptiveSystem(ABC):
+    """A stream learner that may adapt (reset, switch, reweight) online."""
+
+    @abstractmethod
+    def process(self, x: np.ndarray, y: int) -> int:
+        """Predict ``x``, then learn ``(x, y)``; return the prediction."""
+
+    @property
+    @abstractmethod
+    def active_state_id(self) -> int:
+        """Identifier of the concept representation currently active."""
+
+    def signal_drift(self) -> None:
+        """External (oracle) drift notification.
+
+        The paper's supplementary experiment isolates model selection by
+        "passing perfect drift detection signals"; the harness calls
+        this at ground-truth segment boundaries when oracle mode is on.
+        Systems without a drift-response mechanism ignore it.
+        """
+
+    @property
+    def n_drifts_detected(self) -> int:
+        """Number of drifts the system has signalled (0 if not tracked)."""
+        return 0

@@ -1,0 +1,293 @@
+"""Online statistics primitives.
+
+FiCSUM is a one-pass streaming algorithm: every distribution it tracks
+(meta-information features inside a concept fingerprint, the "normal"
+similarity of a concept, the observed range of each fingerprint dimension)
+must be maintained in constant space.  This module provides the three
+building blocks used throughout the code base:
+
+* :class:`OnlineStats` — Welford mean / variance / count for scalars.
+* :class:`OnlineVectorStats` — the same, vectorised over numpy arrays
+  (one Welford accumulator per fingerprint dimension).
+* :class:`OnlineMinMax` — running per-dimension range, used to scale
+  fingerprint dimensions into ``[0, 1]`` (Section III-A of the paper).
+* :class:`EwmaStats` — exponentially-forgetting mean/std, used for the
+  "normal similarity" records of each concept.
+* :class:`ReservoirSampler` — a fixed-size uniform sample (general
+  utility; e.g. for subsampling observation windows in user code).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Generic, List, Optional, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+class OnlineStats:
+    """Welford's online mean and standard deviation for a scalar stream.
+
+    >>> s = OnlineStats()
+    >>> for v in [1.0, 2.0, 3.0]:
+    ...     s.update(v)
+    >>> s.mean
+    2.0
+    """
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float) -> None:
+        """Fold one observation into the running statistics."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Population variance of everything seen so far (0 if < 2 values)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of everything seen so far."""
+        return math.sqrt(self.variance)
+
+    def copy(self) -> "OnlineStats":
+        clone = OnlineStats()
+        clone.count = self.count
+        clone.mean = self.mean
+        clone._m2 = self._m2
+        return clone
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Combine another accumulator into this one (Chan et al. merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self._m2 = other.count, other.mean, other._m2
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.count = total
+
+    def reset(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def __repr__(self) -> str:
+        return f"OnlineStats(count={self.count}, mean={self.mean:.4g}, std={self.std:.4g})"
+
+
+class EwmaStats:
+    """Exponentially-weighted running mean and standard deviation.
+
+    Used for the "normal similarity" records (``mu_c``, ``sigma_c``) of
+    a concept: the paper stores these with online mean/std updates, but
+    the early similarity values of a freshly created concept are noisy
+    (the normalisation ranges and dynamic weights are still training —
+    the very staleness problem Section IV discusses).  An exponentially
+    forgetting estimate keeps the record describing *recent* stationary
+    behaviour while remaining O(1) per update.
+    """
+
+    __slots__ = ("alpha", "count", "mean", "_var")
+
+    def __init__(self, alpha: float = 0.05) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.count = 0
+        self.mean = 0.0
+        self._var = 0.0
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        if self.count == 1:
+            self.mean = value
+            self._var = 0.0
+            return
+        delta = value - self.mean
+        self.mean += self.alpha * delta
+        self._var = (1.0 - self.alpha) * (self._var + self.alpha * delta * delta)
+
+    @property
+    def variance(self) -> float:
+        return self._var
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self._var)
+
+    def reset(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._var = 0.0
+
+    def __repr__(self) -> str:
+        return f"EwmaStats(count={self.count}, mean={self.mean:.4g}, std={self.std:.4g})"
+
+
+class OnlineVectorStats:
+    """Vectorised Welford accumulator: one mean/std/count per dimension.
+
+    This is the storage format of a *concept fingerprint*: the paper
+    represents each meta-information feature as the triple
+    ``(mu_mi, sigma_mi, count_mi)`` over all incorporated fingerprints.
+    ``reset_dims`` supports the fingerprint-plasticity mechanism of
+    Section IV (forgetting classifier-dependent dimensions after the
+    classifier changes significantly).
+    """
+
+    def __init__(self, n_dims: int) -> None:
+        if n_dims <= 0:
+            raise ValueError(f"n_dims must be positive, got {n_dims}")
+        self.n_dims = n_dims
+        self.counts = np.zeros(n_dims, dtype=np.int64)
+        self.means = np.zeros(n_dims, dtype=np.float64)
+        self._m2 = np.zeros(n_dims, dtype=np.float64)
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold one vector of observations into the running statistics."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.n_dims,):
+            raise ValueError(
+                f"expected shape ({self.n_dims},), got {values.shape}"
+            )
+        self.counts += 1
+        delta = values - self.means
+        self.means += delta / self.counts
+        self._m2 += delta * (values - self.means)
+
+    @property
+    def variances(self) -> np.ndarray:
+        """Per-dimension population variance (0 where count < 2)."""
+        out = np.zeros(self.n_dims)
+        mask = self.counts >= 2
+        out[mask] = self._m2[mask] / self.counts[mask]
+        # Welford's m2 can drift a hair below zero in float arithmetic.
+        return np.maximum(out, 0.0)
+
+    @property
+    def stds(self) -> np.ndarray:
+        return np.sqrt(self.variances)
+
+    @property
+    def count(self) -> int:
+        """Number of fingerprints incorporated (max across dimensions)."""
+        return int(self.counts.max()) if self.n_dims else 0
+
+    def reset_dims(self, dims: np.ndarray, keep_means: bool = True) -> None:
+        """Forget the history of a subset of dimensions (boolean mask).
+
+        With ``keep_means`` (default) the running means survive as the
+        best current estimate until the next update overwrites them
+        (count restarts at 0, so the first new value replaces the mean
+        entirely); counts and spread always reset.  Zeroing the means
+        would make every similarity computed before the next update
+        collapse, which is not what fingerprint plasticity intends.
+        """
+        dims = np.asarray(dims, dtype=bool)
+        self.counts[dims] = 0
+        if not keep_means:
+            self.means[dims] = 0.0
+        self._m2[dims] = 0.0
+
+    def copy(self) -> "OnlineVectorStats":
+        clone = OnlineVectorStats(self.n_dims)
+        clone.counts = self.counts.copy()
+        clone.means = self.means.copy()
+        clone._m2 = self._m2.copy()
+        return clone
+
+
+class OnlineMinMax:
+    """Running per-dimension minimum / maximum with ``[0, 1]`` scaling.
+
+    The paper scales "the observed range of each meta-information feature
+    ... to the range [0, 1]".  Fingerprints are stored raw and scaled on
+    the fly through this object so that stored and fresh fingerprints are
+    always expressed in the same, current, normalisation.
+    """
+
+    def __init__(self, n_dims: int) -> None:
+        if n_dims <= 0:
+            raise ValueError(f"n_dims must be positive, got {n_dims}")
+        self.n_dims = n_dims
+        self.mins = np.full(n_dims, np.inf)
+        self.maxs = np.full(n_dims, -np.inf)
+
+    @property
+    def initialised(self) -> bool:
+        return bool(np.all(np.isfinite(self.mins)))
+
+    def update(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        np.minimum(self.mins, values, out=self.mins)
+        np.maximum(self.maxs, values, out=self.maxs)
+
+    def scale(self, values: np.ndarray) -> np.ndarray:
+        """Map ``values`` into [0, 1] by the observed range, clipping.
+
+        Dimensions with no observed spread map to 0.5 (an uninformative
+        midpoint), so constant dimensions never dominate cosine
+        similarity.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        span = self.maxs - self.mins
+        out = np.full_like(values, 0.5)
+        ok = (span > 0) & np.isfinite(span)
+        out[ok] = (values[ok] - self.mins[ok]) / span[ok]
+        return np.clip(out, 0.0, 1.0)
+
+    def scale_std(self, stds: np.ndarray) -> np.ndarray:
+        """Express raw standard deviations in the scaled [0, 1] space."""
+        stds = np.asarray(stds, dtype=np.float64)
+        span = self.maxs - self.mins
+        out = np.zeros_like(stds)
+        ok = (span > 0) & np.isfinite(span)
+        out[ok] = stds[ok] / span[ok]
+        return out
+
+
+class ReservoirSampler(Generic[T]):
+    """Fixed-capacity uniform reservoir sample of a stream of items."""
+
+    def __init__(self, capacity: int, seed: Optional[int] = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._items: List[T] = []
+        self._seen = 0
+
+    def add(self, item: T) -> None:
+        self._seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        slot = self._rng.randrange(self._seen)
+        if slot < self.capacity:
+            self._items[slot] = item
+
+    @property
+    def items(self) -> List[T]:
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)

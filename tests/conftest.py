@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classifiers import HoeffdingTree
+from repro.streams.synthetic import StaggerConcept
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def trained_tree(rng) -> HoeffdingTree:
+    """A Hoeffding tree trained on 600 STAGGER observations."""
+    concept = StaggerConcept(0)
+    tree = HoeffdingTree(n_classes=2, n_features=3, grace_period=25, seed=7)
+    for _ in range(600):
+        x, y = concept.sample(rng)
+        tree.learn(x, y)
+    return tree
+
+
+def make_window(rng, concept, classifier, size=75):
+    """A labelled window (X, y, preds) drawn from a concept."""
+    xs, ys, preds = [], [], []
+    for _ in range(size):
+        x, y = concept.sample(rng)
+        preds.append(classifier.predict(x))
+        classifier.learn(x, y)
+        xs.append(x)
+        ys.append(y)
+    return np.stack(xs), np.array(ys), np.array(preds)

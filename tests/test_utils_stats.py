@@ -1,0 +1,245 @@
+"""Unit and property tests for the online statistics primitives."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    EwmaStats,
+    OnlineMinMax,
+    OnlineStats,
+    OnlineVectorStats,
+    ReservoirSampler,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.std == 0.0
+
+    def test_single_value(self):
+        s = OnlineStats()
+        s.update(5.0)
+        assert s.mean == 5.0
+        assert s.variance == 0.0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=200))
+    @settings(max_examples=60)
+    def test_matches_numpy(self, values):
+        s = OnlineStats()
+        for v in values:
+            s.update(v)
+        assert s.count == len(values)
+        assert s.mean == pytest.approx(np.mean(values), rel=1e-8, abs=1e-6)
+        assert s.variance == pytest.approx(np.var(values), rel=1e-6, abs=1e-4)
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=50),
+        st.lists(finite_floats, min_size=1, max_size=50),
+    )
+    @settings(max_examples=40)
+    def test_merge_equals_concatenation(self, a, b):
+        left = OnlineStats()
+        for v in a:
+            left.update(v)
+        right = OnlineStats()
+        for v in b:
+            right.update(v)
+        left.merge(right)
+        combined = a + b
+        assert left.count == len(combined)
+        assert left.mean == pytest.approx(np.mean(combined), rel=1e-8, abs=1e-6)
+        assert left.variance == pytest.approx(
+            np.var(combined), rel=1e-6, abs=1e-4
+        )
+
+    def test_merge_with_empty(self):
+        s = OnlineStats()
+        s.update(1.0)
+        s.merge(OnlineStats())
+        assert s.count == 1
+        empty = OnlineStats()
+        empty.merge(s)
+        assert empty.mean == 1.0
+
+    def test_reset(self):
+        s = OnlineStats()
+        s.update(3.0)
+        s.reset()
+        assert s.count == 0 and s.mean == 0.0
+
+
+class TestEwmaStats:
+    def test_first_value_initialises(self):
+        s = EwmaStats(alpha=0.1)
+        s.update(4.0)
+        assert s.mean == 4.0
+        assert s.std == 0.0
+
+    def test_converges_to_level(self):
+        s = EwmaStats(alpha=0.2)
+        for _ in range(200):
+            s.update(7.0)
+        assert s.mean == pytest.approx(7.0)
+        assert s.std == pytest.approx(0.0, abs=1e-9)
+
+    def test_tracks_level_shift(self):
+        s = EwmaStats(alpha=0.1)
+        for _ in range(100):
+            s.update(0.0)
+        for _ in range(100):
+            s.update(10.0)
+        assert s.mean > 9.5  # forgot the old level
+
+    def test_std_reflects_noise(self, rng):
+        s = EwmaStats(alpha=0.05)
+        for v in rng.normal(0.0, 2.0, size=3000):
+            s.update(float(v))
+        assert 1.0 < s.std < 3.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EwmaStats(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaStats(alpha=1.5)
+
+    def test_reset(self):
+        s = EwmaStats()
+        s.update(1.0)
+        s.reset()
+        assert s.count == 0
+
+
+class TestOnlineVectorStats:
+    def test_shape_validation(self):
+        s = OnlineVectorStats(3)
+        with pytest.raises(ValueError):
+            s.update(np.zeros(4))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            OnlineVectorStats(0)
+
+    @given(st.integers(2, 30), st.integers(2, 8))
+    @settings(max_examples=30)
+    def test_matches_numpy_columns(self, n_rows, n_dims):
+        data = np.random.default_rng(n_rows * 31 + n_dims).normal(
+            size=(n_rows, n_dims)
+        )
+        s = OnlineVectorStats(n_dims)
+        for row in data:
+            s.update(row)
+        np.testing.assert_allclose(s.means, data.mean(axis=0), atol=1e-10)
+        np.testing.assert_allclose(s.stds, data.std(axis=0), atol=1e-8)
+        assert s.count == n_rows
+
+    def test_reset_dims_keeps_means_by_default(self):
+        s = OnlineVectorStats(4)
+        s.update(np.array([1.0, 2.0, 3.0, 4.0]))
+        s.update(np.array([3.0, 4.0, 5.0, 6.0]))
+        mask = np.array([True, False, True, False])
+        s.reset_dims(mask)
+        assert s.counts[0] == 0 and s.counts[1] == 2
+        assert s.means[0] == 2.0  # mean preserved as estimate
+        assert s.stds[0] == 0.0  # spread forgotten
+
+    def test_reset_dims_zero_means(self):
+        s = OnlineVectorStats(2)
+        s.update(np.array([1.0, 1.0]))
+        s.reset_dims(np.array([True, False]), keep_means=False)
+        assert s.means[0] == 0.0 and s.means[1] == 1.0
+
+    def test_update_after_reset_replaces_mean(self):
+        s = OnlineVectorStats(1)
+        s.update(np.array([10.0]))
+        s.update(np.array([10.0]))
+        s.reset_dims(np.array([True]))
+        s.update(np.array([2.0]))
+        assert s.means[0] == 2.0
+
+    def test_variances_never_negative(self):
+        s = OnlineVectorStats(2)
+        for _ in range(50):
+            s.update(np.array([1e-9, 1e9]))
+        assert np.all(s.variances >= 0.0)
+
+
+class TestOnlineMinMax:
+    def test_scale_midpoint_for_degenerate_dims(self):
+        m = OnlineMinMax(2)
+        m.update(np.array([1.0, 5.0]))
+        m.update(np.array([1.0, 7.0]))
+        scaled = m.scale(np.array([1.0, 6.0]))
+        assert scaled[0] == 0.5  # constant dimension -> midpoint
+        assert scaled[1] == pytest.approx(0.5)
+
+    def test_scale_clips_out_of_range(self):
+        m = OnlineMinMax(1)
+        m.update(np.array([0.0]))
+        m.update(np.array([10.0]))
+        assert m.scale(np.array([-5.0]))[0] == 0.0
+        assert m.scale(np.array([15.0]))[0] == 1.0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    @settings(max_examples=40)
+    def test_scaled_values_in_unit_interval(self, values):
+        m = OnlineMinMax(1)
+        for v in values:
+            m.update(np.array([v]))
+        for v in values:
+            scaled = m.scale(np.array([v]))[0]
+            assert 0.0 <= scaled <= 1.0
+
+    def test_scale_std(self):
+        m = OnlineMinMax(1)
+        m.update(np.array([0.0]))
+        m.update(np.array([4.0]))
+        assert m.scale_std(np.array([2.0]))[0] == pytest.approx(0.5)
+
+    def test_initialised_flag(self):
+        m = OnlineMinMax(2)
+        assert not m.initialised
+        m.update(np.array([1.0, 2.0]))
+        assert m.initialised
+
+
+class TestReservoirSampler:
+    def test_holds_all_items_under_capacity(self):
+        r = ReservoirSampler(10, seed=0)
+        for i in range(5):
+            r.add(i)
+        assert sorted(r.items) == [0, 1, 2, 3, 4]
+
+    def test_capacity_respected(self):
+        r = ReservoirSampler(3, seed=0)
+        for i in range(100):
+            r.add(i)
+        assert len(r) == 3
+
+    def test_approximately_uniform(self):
+        counts = np.zeros(20)
+        for seed in range(300):
+            r = ReservoirSampler(5, seed=seed)
+            for i in range(20):
+                r.add(i)
+            for item in r.items:
+                counts[item] += 1
+        # each item kept with p=5/20 -> expected 75 hits over 300 trials
+        assert counts.min() > 30
+        assert counts.max() < 130
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(0)

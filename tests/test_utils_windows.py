@@ -1,0 +1,77 @@
+"""Tests for the sliding-window containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.windows import DelayedWindowPair, SlidingWindow
+
+
+class TestSlidingWindow:
+    def test_bounded(self):
+        w = SlidingWindow(3)
+        for i in range(10):
+            w.append(i)
+        assert w.items() == [7, 8, 9]
+        assert len(w) == 3
+        assert w.full
+
+    def test_not_full_initially(self):
+        w = SlidingWindow(5)
+        w.append(1)
+        assert not w.full
+        assert len(w) == 1
+
+    def test_clear(self):
+        w = SlidingWindow(2)
+        w.append(1)
+        w.clear()
+        assert len(w) == 0
+
+    def test_iteration_order(self):
+        w = SlidingWindow(4)
+        for i in range(6):
+            w.append(i)
+        assert list(w) == [2, 3, 4, 5]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+
+class TestDelayedWindowPair:
+    def test_buffer_lags_by_delay(self):
+        pair = DelayedWindowPair(size=3, delay=2)
+        for i in range(10):
+            pair.append(i)
+        # active = most recent 3; buffer = items older than delay
+        assert pair.active.items() == [7, 8, 9]
+        assert pair.buffer.items() == [5, 6, 7]
+
+    def test_zero_delay_buffer_equals_active(self):
+        pair = DelayedWindowPair(size=3, delay=0)
+        for i in range(5):
+            pair.append(i)
+        assert pair.buffer.items() == pair.active.items()
+
+    def test_buffer_fills_after_delay_plus_size(self):
+        pair = DelayedWindowPair(size=4, delay=3)
+        for i in range(6):
+            pair.append(i)
+        assert not pair.buffer_full
+        pair.append(6)
+        assert pair.buffer_full
+
+    def test_reset_buffer_preserves_active(self):
+        pair = DelayedWindowPair(size=3, delay=2)
+        for i in range(10):
+            pair.append(i)
+        pair.reset_buffer()
+        assert pair.active.items() == [7, 8, 9]
+        assert len(pair.buffer) == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            DelayedWindowPair(size=0, delay=1)
+        with pytest.raises(ValueError):
+            DelayedWindowPair(size=3, delay=-1)
