@@ -1,34 +1,60 @@
 """Shared infrastructure for the benchmark suite.
 
-Every bench regenerates one table or figure of the paper.  Runs are
-laptop-scale by default (a few thousand observations per stream, one
-seed); set ``REPRO_SCALE`` to grow toward paper scale, e.g.::
+Every bench regenerates one table or figure of the paper.  All runs go
+through :class:`repro.experiments.Engine`: each bench declares its
+(system x dataset x seed) grid as an ``ExperimentSpec`` and the engine
+executes it against a worker pool, writing one JSON artifact per run.
+Within a benchmark process the artifact store doubles as a cache —
+Tables III and IV intentionally share one grid of runs, so whichever
+bench runs first pays for it and the second loads artifacts.
 
-    REPRO_SCALE=2 REPRO_SEEDS=5 pytest benchmarks/ --benchmark-only
+Runs are laptop-scale by default (a few thousand observations per
+stream, one seed); environment knobs grow toward paper scale and
+hardware width::
 
-Results are cached per (system, dataset, seed, oracle) within the
-process — Tables III and IV intentionally share one grid of runs — and
-each bench writes its rendered table to ``benchmarks/results/``.
+    REPRO_SCALE=2 REPRO_SEEDS=5 REPRO_WORKERS=8 \
+        pytest benchmarks/ --benchmark-only
+
+``REPRO_WORKERS`` sets the engine's process-pool width (default 1,
+serial).  ``REPRO_ARTIFACTS`` points the artifact store at a persistent
+directory so grids resume across processes; by default artifacts live
+in a per-process temporary directory (stale results can never leak
+across code changes).  Each bench writes its rendered table to
+``benchmarks/results/``.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
-from dataclasses import replace
+import shutil
+import tempfile
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core import FicsumConfig
-from repro.evaluation import run_on_dataset
 from repro.evaluation.prequential import RunResult
+from repro.experiments import Engine, ExperimentSpec
 from repro.streams.datasets import dataset_info
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
 N_SEEDS = int(os.environ.get("REPRO_SEEDS", "1"))
+WORKERS = int(os.environ.get("REPRO_WORKERS", "1"))
+
+_persistent = os.environ.get("REPRO_ARTIFACTS")
+if _persistent:
+    ARTIFACT_DIR = Path(_persistent)
+else:
+    ARTIFACT_DIR = Path(tempfile.mkdtemp(prefix="repro-bench-artifacts-"))
+    atexit.register(shutil.rmtree, ARTIFACT_DIR, ignore_errors=True)
+
+#: One engine for the whole benchmark process: its artifact store is
+#: what deduplicates runs across benches.
+ENGINE = Engine(results_dir=ARTIFACT_DIR, max_workers=WORKERS)
 
 #: Bench-scale FiCSUM configuration: larger fingerprint/repository
 #: periods than the paper defaults trade a little reactivity for an
@@ -41,8 +67,6 @@ BENCH_CONFIG = FicsumConfig(
     drift_warmup_windows=1.5,
     track_discrimination=True,
 )
-
-_CACHE: Dict[Tuple, RunResult] = {}
 
 
 def bench_segment_length(dataset: str, n_repeats: int) -> int:
@@ -59,6 +83,56 @@ def bench_repeats(dataset: str) -> int:
     return 2 if spec.n_contexts >= 6 else 3
 
 
+def _bench_spec(
+    systems: Sequence[str],
+    dataset: str,
+    seeds: Sequence[int],
+    config: Optional[FicsumConfig],
+    oracle: bool,
+    segment_length: Optional[int] = None,
+    n_repeats: Optional[int] = None,
+) -> ExperimentSpec:
+    if n_repeats is None:
+        n_repeats = bench_repeats(dataset)
+    if segment_length is None:
+        segment_length = bench_segment_length(dataset, n_repeats)
+    return ExperimentSpec(
+        systems=systems,
+        datasets=[dataset],
+        seeds=seeds,
+        segment_length=segment_length,
+        n_repeats=n_repeats,
+        oracle=oracle,
+        config=config if config is not None else BENCH_CONFIG,
+    )
+
+
+def run_grid(
+    systems: Sequence[str],
+    datasets: Sequence[str],
+    config: Optional[FicsumConfig] = None,
+    oracle: bool = False,
+    n_seeds: Optional[int] = None,
+) -> Dict[str, Dict[str, List[RunResult]]]:
+    """A whole table's grid: ``{dataset: {system: [runs per seed]}}``.
+
+    One engine call per dataset (segment scaling is per-dataset), so
+    with ``REPRO_WORKERS`` > 1 every system x seed cell of a dataset
+    runs concurrently.
+    """
+    if n_seeds is None:
+        n_seeds = N_SEEDS
+    seeds = list(range(1, n_seeds + 1))
+    results: Dict[str, Dict[str, List[RunResult]]] = {}
+    for dataset in datasets:
+        grid = ENGINE.run(_bench_spec(systems, dataset, seeds, config, oracle))
+        per_system: Dict[str, List[RunResult]] = {s: [] for s in systems}
+        for artifact in grid.artifacts:
+            per_system[artifact.cell.system].append(artifact.result)
+        results[dataset] = per_system
+    return results
+
+
 def run_cached(
     system: str,
     dataset: str,
@@ -68,28 +142,14 @@ def run_cached(
     segment_length: Optional[int] = None,
     n_repeats: Optional[int] = None,
 ) -> RunResult:
-    """One prequential run, cached across benches within the process."""
-    if n_repeats is None:
-        n_repeats = bench_repeats(dataset)
-    if segment_length is None:
-        segment_length = bench_segment_length(dataset, n_repeats)
-    cfg = config if config is not None else BENCH_CONFIG
-    key = (
-        system, dataset, seed, oracle, segment_length, n_repeats,
-        repr(cfg),
-    )
-    if key not in _CACHE:
-        _CACHE[key] = run_on_dataset(
-            system,
-            dataset,
-            seed=seed,
-            segment_length=segment_length,
-            n_repeats=n_repeats,
-            config=cfg,
-            oracle_drift=oracle,
-            keep_history=False,
+    """One prequential run through the engine's artifact cache."""
+    grid = ENGINE.run(
+        _bench_spec(
+            [system], dataset, [seed], config, oracle,
+            segment_length=segment_length, n_repeats=n_repeats,
         )
-    return _CACHE[key]
+    )
+    return grid.artifacts[0].result
 
 
 def run_seeds(
@@ -102,10 +162,9 @@ def run_seeds(
     """The same experiment across ``REPRO_SEEDS`` seeds."""
     if n_seeds is None:
         n_seeds = N_SEEDS
-    return [
-        run_cached(system, dataset, seed=seed, config=config, oracle=oracle)
-        for seed in range(1, n_seeds + 1)
-    ]
+    return run_grid(
+        [system], [dataset], config=config, oracle=oracle, n_seeds=n_seeds
+    )[dataset][system]
 
 
 def mean_std(values: Iterable[float]) -> Tuple[float, float]:

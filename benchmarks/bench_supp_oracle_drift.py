@@ -12,7 +12,7 @@ matching.
 from __future__ import annotations
 
 import numpy as np
-from _harness import cell, mean_std, render_table, run_seeds, save_table
+from _harness import cell, mean_std, render_table, run_grid, save_table
 
 SYSTEMS = ["er", "smi", "umi", "ficsum"]
 LABELS = {"er": "ER", "smi": "S-MI", "umi": "U-MI", "ficsum": "FiCSUM"}
@@ -20,13 +20,7 @@ DATASETS = ["STAGGER", "RTREE", "Arabic", "RTREE-U", "UCI-Wine", "AQSex"]
 
 
 def run_oracle() -> dict:
-    return {
-        dataset: {
-            system: run_seeds(system, dataset, oracle=True)
-            for system in SYSTEMS
-        }
-        for dataset in DATASETS
-    }
+    return run_grid(SYSTEMS, DATASETS, oracle=True)
 
 
 def build_table(results: dict) -> str:

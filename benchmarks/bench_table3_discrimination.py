@@ -16,7 +16,7 @@ model selection).
 from __future__ import annotations
 
 import numpy as np
-from _harness import cell, render_table, run_seeds, save_table
+from _harness import cell, render_table, run_grid, save_table
 
 from repro.evaluation.discrimination import summarize_discrimination
 from repro.streams.datasets import PAPER_DATASETS
@@ -41,12 +41,13 @@ PAPER_BEST = {
 
 
 def run_table3() -> dict:
+    grid = run_grid(SYSTEMS, PAPER_DATASETS, oracle=True)
     results = {}
-    for dataset in PAPER_DATASETS:
+    for dataset, by_system in grid.items():
         row = {}
-        for system in SYSTEMS:
+        for system, runs in by_system.items():
             samples = []
-            for run in run_seeds(system, dataset, oracle=True):
+            for run in runs:
                 samples.extend(run.discrimination)
             row[system] = summarize_discrimination(samples)
         results[dataset] = row

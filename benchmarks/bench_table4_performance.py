@@ -10,10 +10,9 @@ confirms significance.
 from __future__ import annotations
 
 import numpy as np
-from _harness import cell, mean_std, render_table, run_seeds, save_table
+from _harness import cell, mean_std, render_table, run_grid, save_table
 
 from repro.evaluation.stats import friedman_test, nemenyi_cd
-from repro.streams.datasets import PAPER_DATASETS, dataset_info
 
 SYSTEMS = ["er", "smi", "umi", "ficsum"]
 LABELS = {"er": "ER", "smi": "S-MI", "umi": "U-MI", "ficsum": "FiCSUM"}
@@ -35,12 +34,7 @@ PAPER_TABLE4 = {
 
 
 def run_table4() -> dict:
-    results = {}
-    for dataset in PAPER_TABLE4:
-        results[dataset] = {
-            system: run_seeds(system, dataset) for system in SYSTEMS
-        }
-    return results
+    return run_grid(SYSTEMS, list(PAPER_TABLE4))
 
 
 def build_tables(results: dict) -> str:

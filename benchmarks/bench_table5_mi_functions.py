@@ -17,7 +17,7 @@ dataset.
 from __future__ import annotations
 
 import numpy as np
-from _harness import cell, mean_std, render_table, run_seeds, save_table
+from _harness import cell, mean_std, render_table, run_grid, save_table
 
 from repro.evaluation.discrimination import summarize_discrimination
 from repro.streams.datasets import SYNTH_DATASETS
@@ -38,13 +38,9 @@ FUNCTION_SYSTEMS = [
 
 
 def run_table5() -> dict:
-    results = {}
-    for dataset in SYNTH_DATASETS:
-        per_system = {}
-        for system, _ in FUNCTION_SYSTEMS:
-            per_system[system] = run_seeds(system, dataset, oracle=True)
-        results[dataset] = per_system
-    return results
+    return run_grid(
+        [system for system, _ in FUNCTION_SYSTEMS], SYNTH_DATASETS, oracle=True
+    )
 
 
 def build_tables(results: dict) -> str:

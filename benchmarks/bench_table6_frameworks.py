@@ -12,7 +12,7 @@ same league as the heavyweight ensembles, far cheaper than RCD.
 from __future__ import annotations
 
 import numpy as np
-from _harness import cell, mean_std, render_table, run_seeds, save_table
+from _harness import cell, mean_std, render_table, run_grid, save_table
 
 SYSTEMS = [
     ("htcd", "HTCD"),
@@ -30,12 +30,7 @@ DATASETS = [
 
 
 def run_table6() -> dict:
-    results = {}
-    for dataset in DATASETS:
-        results[dataset] = {
-            system: run_seeds(system, dataset) for system, _ in SYSTEMS
-        }
-    return results
+    return run_grid([system for system, _ in SYSTEMS], DATASETS)
 
 
 def build_tables(results: dict) -> str:

@@ -6,38 +6,53 @@ error-rate-only ER variant, and FiCSUM — on the wine-quality stand-in
 (two strongly separated feature regimes sharing one weak labelling
 rule) and prints the kappa / C-F1 / runtime trade-off.
 
+The grid is declared once as an :class:`repro.experiments.ExperimentSpec`
+and executed by the parallel engine; each run persists a JSON artifact
+under ``results/framework_comparison/``, so re-running this script (or
+``repro report --results-dir results/framework_comparison``) reuses
+the finished runs instead of recomputing them.
+
 Run:  python examples/framework_comparison.py
 """
 
 from __future__ import annotations
 
-from repro.core import FicsumConfig
-from repro.evaluation import build_system, prequential_run
-from repro.streams import make_dataset
+from repro.experiments import Engine, ExperimentSpec
 
-SYSTEMS = [
-    ("htcd", "HTCD (HT + ADWIN reset)"),
-    ("rcd", "RCD (pool + KS test)"),
-    ("er", "ER (error-rate fingerprint)"),
-    ("dwm", "DWM (weighted experts)"),
-    ("arf", "ARF (adaptive forest)"),
-    ("ficsum", "FiCSUM"),
-]
+LABELS = {
+    "htcd": "HTCD (HT + ADWIN reset)",
+    "rcd": "RCD (pool + KS test)",
+    "er": "ER (error-rate fingerprint)",
+    "dwm": "DWM (weighted experts)",
+    "arf": "ARF (adaptive forest)",
+    "ficsum": "FiCSUM",
+}
+
+SPEC = ExperimentSpec(
+    systems=list(LABELS),
+    datasets=["UCI-Wine"],
+    seeds=[3],
+    segment_length=400,
+    n_repeats=3,
+    config={"fingerprint_period": 5, "repository_period": 60},
+)
 
 
 def main() -> None:
-    config = FicsumConfig(fingerprint_period=5, repository_period=60)
+    engine = Engine(
+        results_dir="results/framework_comparison", max_workers=2
+    )
+    grid = engine.run(SPEC)
+    print(f"{len(grid.artifacts)} runs "
+          f"({grid.n_executed} executed, {grid.n_cached} from artifacts)\n")
     print(f"{'framework':32s} {'kappa':>7s} {'C-F1':>7s} {'states':>7s} "
           f"{'runtime':>8s}")
-    for name, label in SYSTEMS:
-        stream = make_dataset(
-            "UCI-Wine", seed=3, segment_length=400, n_repeats=3
-        )
-        system = build_system(name, stream.meta, config=config, seed=3)
-        result = prequential_run(system, stream)
+    for artifact in grid.artifacts:
+        result = artifact.result
         print(
-            f"{label:32s} {result.kappa:7.3f} {result.c_f1:7.3f} "
-            f"{result.n_states:7d} {result.runtime_s:7.1f}s"
+            f"{LABELS[artifact.cell.system]:32s} {result.kappa:7.3f} "
+            f"{result.c_f1:7.3f} {result.n_states:7d} "
+            f"{result.runtime_s:7.1f}s"
         )
     print(
         "\nReading the table: the ensembles may edge out single-tree "

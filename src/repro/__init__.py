@@ -6,8 +6,8 @@ every substrate implemented from scratch: stream generators, Hoeffding
 trees, drift detectors, meta-information features and the comparison
 frameworks.
 
-Quickstart
-----------
+Quickstart (one run)
+--------------------
 >>> from repro import Ficsum, FicsumConfig
 >>> from repro.streams import make_dataset
 >>> from repro.evaluation import prequential_run
@@ -15,11 +15,60 @@ Quickstart
 >>> system = Ficsum(stream.meta.n_features, stream.meta.n_classes,
 ...                 FicsumConfig(fingerprint_period=10))
 >>> result = prequential_run(system, stream)
+
+Quickstart (experiment grid)
+----------------------------
+The paper's tables are (system x dataset x seed) grids; declare one as
+an :class:`~repro.experiments.ExperimentSpec` and hand it to the
+parallel :class:`~repro.experiments.Engine`, which persists one JSON
+artifact per run and skips cells whose artifact already exists:
+
+>>> from repro import Engine, ExperimentSpec
+>>> spec = ExperimentSpec(systems=["ficsum", "htcd"],
+...                       datasets=["STAGGER", "RBF"], seeds=[1, 2],
+...                       segment_length=200, n_repeats=2)
+>>> grid = Engine(results_dir="results", max_workers=4).run(spec)
+
+The same flow is available from the command line (``repro grid``,
+``repro report``), and new systems/datasets plug in through
+:mod:`repro.registry` (``@register_system`` / ``@register_dataset``).
 """
 
 from repro.core import Ficsum, FicsumConfig
 from repro.system import AdaptiveSystem
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["Ficsum", "FicsumConfig", "AdaptiveSystem", "__version__"]
+#: Lazily-imported top-level conveniences (PEP 562): keeps plain
+#: ``import repro`` light while exposing the experiment API at the root.
+_LAZY_EXPORTS = {
+    "ExperimentSpec": "repro.experiments",
+    "Engine": "repro.experiments",
+    "GridResult": "repro.experiments",
+    "run_experiment": "repro.experiments",
+    "register_system": "repro.registry",
+    "register_dataset": "repro.registry",
+    "run_on_dataset": "repro.evaluation.runner",
+}
+
+__all__ = [
+    "Ficsum",
+    "FicsumConfig",
+    "AdaptiveSystem",
+    "__version__",
+] + sorted(_LAZY_EXPORTS)
+
+
+def __getattr__(name):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_LAZY_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,8 +1,12 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``repro <command>`` / ``python -m repro``.
 
 Commands
 --------
 ``run``      one prequential experiment (system x dataset x seed)
+``grid``     run a declarative (systems x datasets x seeds) spec
+             through the parallel engine, persisting one JSON artifact
+             per cell (re-runs skip cells whose artifact exists)
+``report``   aggregate saved artifacts into a mean (std) table
 ``datasets`` list the registered datasets (Table II characteristics)
 ``systems``  list the registered systems
 
@@ -10,20 +14,33 @@ Examples
 --------
 ::
 
-    python -m repro run --system ficsum --dataset STAGGER --seed 1
-    python -m repro run --system umi --dataset RTREE-U --oracle
-    python -m repro datasets
+    repro run --system ficsum --dataset STAGGER --seed 1
+    repro grid --systems ficsum htcd --datasets STAGGER RBF \
+               --seeds 1 2 --workers 4 --results-dir results
+    repro grid --spec grid.toml --workers 8 --results-dir results
+    repro report --results-dir results
+    repro datasets
+
+FiCSUM tunables (``--window-size``, ``--fingerprint-period``,
+``--repository-period``, ``--set field=value``) default to the
+paper-tuned :class:`repro.core.FicsumConfig` values and are rejected
+for baseline systems, which do not consume a config.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional
 
-from repro.core import FicsumConfig
-from repro.evaluation import SYSTEM_BUILDERS, run_on_dataset
+from repro.experiments import Engine, ExperimentSpec, aggregate, load_artifacts
+from repro.registry import system_consumes_config, system_names
 from repro.streams.datasets import dataset_info, dataset_names
+
+#: ``repro run`` flags that translate into FicsumConfig fields.
+_CONFIG_FLAGS = ("window_size", "fingerprint_period", "repository_period")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -34,17 +51,65 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one prequential experiment")
-    run.add_argument("--system", required=True, choices=sorted(SYSTEM_BUILDERS))
+    run.add_argument("--system", required=True, choices=system_names())
     run.add_argument("--dataset", required=True)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--segment-length", type=int, default=None)
-    run.add_argument("--n-repeats", type=int, default=3)
-    run.add_argument("--window-size", type=int, default=75)
-    run.add_argument("--fingerprint-period", type=int, default=5)
-    run.add_argument("--repository-period", type=int, default=60)
+    run.add_argument(
+        "--n-repeats", type=int, default=None,
+        help="concept occurrences (default: the paper protocol, 9)",
+    )
+    run.add_argument(
+        "--window-size", type=int, default=None,
+        help="FiCSUM window size w (default: FicsumConfig default)",
+    )
+    run.add_argument(
+        "--fingerprint-period", type=int, default=None,
+        help="FiCSUM P_C (default: FicsumConfig default)",
+    )
+    run.add_argument(
+        "--repository-period", type=int, default=None,
+        help="FiCSUM P_S (default: FicsumConfig default)",
+    )
     run.add_argument(
         "--oracle", action="store_true",
         help="signal ground-truth drift boundaries (perfect detection)",
+    )
+
+    grid = sub.add_parser(
+        "grid", help="run an experiment grid through the parallel engine"
+    )
+    grid.add_argument(
+        "--spec", type=Path, default=None,
+        help="TOML or JSON ExperimentSpec file (flags below override it)",
+    )
+    grid.add_argument("--systems", nargs="+", default=None)
+    grid.add_argument("--datasets", nargs="+", default=None)
+    grid.add_argument("--seeds", nargs="+", type=int, default=None)
+    grid.add_argument("--segment-length", type=int, default=None)
+    grid.add_argument("--n-repeats", type=int, default=None)
+    grid.add_argument("--oracle", action="store_true")
+    grid.add_argument(
+        "--set", dest="overrides", action="append", default=[],
+        metavar="FIELD=VALUE",
+        help="FicsumConfig override, repeatable (e.g. --set weighting=none)",
+    )
+    grid.add_argument("--workers", type=int, default=1)
+    grid.add_argument(
+        "--results-dir", type=Path, default=Path("results"),
+        help="artifact directory (default: ./results)",
+    )
+    grid.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress"
+    )
+
+    report = sub.add_parser(
+        "report", help="aggregate saved run artifacts into a table"
+    )
+    report.add_argument("--results-dir", type=Path, default=Path("results"))
+    report.add_argument(
+        "--metrics", nargs="+", default=["kappa", "c_f1", "accuracy"],
+        help="RunResult fields to summarise (default: kappa c_f1 accuracy)",
     )
 
     sub.add_parser("datasets", help="list registered datasets")
@@ -52,19 +117,44 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    config = FicsumConfig(
-        window_size=args.window_size,
-        fingerprint_period=args.fingerprint_period,
-        repository_period=args.repository_period,
-        oracle_drift=args.oracle,
-    )
+def _parse_overrides(pairs: List[str], parser: argparse.ArgumentParser) -> Dict[str, Any]:
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            parser.error(f"--set expects FIELD=VALUE, got {pair!r}")
+        field, _, raw = pair.partition("=")
+        try:
+            overrides[field.strip()] = json.loads(raw)
+        except json.JSONDecodeError:
+            overrides[field.strip()] = raw
+    return overrides
+
+
+def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.core import FicsumConfig
+    from repro.evaluation import run_on_dataset
+
+    overrides = {
+        flag: getattr(args, flag)
+        for flag in _CONFIG_FLAGS
+        if getattr(args, flag) is not None
+    }
+    config = None
+    if system_consumes_config(args.system):
+        # Only deviate from the paper-tuned defaults when asked to.
+        if overrides:
+            config = FicsumConfig(**overrides)
+    elif overrides:
+        flags = ", ".join("--" + f.replace("_", "-") for f in sorted(overrides))
+        parser.error(
+            f"{flags}: system {args.system!r} does not consume a FicsumConfig"
+        )
     result = run_on_dataset(
         args.system,
         args.dataset,
         seed=args.seed,
         segment_length=args.segment_length,
-        n_repeats=args.n_repeats,
+        n_repeats=args.n_repeats,  # None -> the runner's paper default
         config=config,
         oracle_drift=args.oracle,
     )
@@ -77,6 +167,97 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"states    : {result.n_states}")
     print(f"runtime   : {result.runtime_s:.2f}s "
           f"({result.n_observations} observations)")
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if args.spec is not None:
+        try:
+            base = ExperimentSpec.from_file(args.spec).to_dict()
+        except (OSError, RuntimeError, ValueError) as exc:
+            parser.error(f"--spec {args.spec}: {exc}")
+    elif args.systems and args.datasets:
+        base = {}
+    else:
+        parser.error("grid needs either --spec or both --systems and --datasets")
+    payload = dict(base)
+    if args.systems:
+        payload["systems"] = args.systems
+    if args.datasets:
+        payload["datasets"] = args.datasets
+    if args.seeds:
+        payload["seeds"] = args.seeds
+    if args.segment_length is not None:
+        payload["segment_length"] = args.segment_length
+    if args.n_repeats is not None:
+        payload["n_repeats"] = args.n_repeats
+    if args.oracle:
+        payload["oracle"] = True
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    overrides = _parse_overrides(args.overrides, parser)
+    if overrides:
+        payload["config"] = {**payload.get("config", {}), **overrides}
+    try:
+        spec = ExperimentSpec.from_dict(payload)
+        spec.validate()
+    except (KeyError, ValueError) as exc:
+        parser.error(str(exc))
+
+    def progress(event) -> None:
+        if not args.quiet:
+            print(f"[{event.index + 1:>3d}/{event.total}] "
+                  f"{event.kind:>6s}  {event.cell.label()}")
+
+    engine = Engine(
+        results_dir=args.results_dir,
+        max_workers=args.workers,
+        progress=progress,
+    )
+    grid = engine.run(spec)
+    print(f"spec      : {grid.spec_hash} ({spec.n_cells} cells)")
+    print(f"executed  : {grid.n_executed}")
+    print(f"cached    : {grid.n_cached}")
+    print(f"wall time : {grid.wall_time_s:.2f}s "
+          f"({args.workers} worker{'s' if args.workers != 1 else ''})")
+    print(f"artifacts : {args.results_dir}")
+    _print_report(grid.artifacts, ["kappa", "c_f1", "accuracy"])
+    return 0
+
+
+def _print_report(artifacts, metrics: List[str]) -> None:
+    rows = aggregate(artifacts, metrics=metrics)
+    if not rows:
+        print("no artifacts found")
+        return
+    header = (f"{'system':14s} {'dataset':10s} {'runs':>5s}  "
+              + "  ".join(f"{m:>14s}" for m in metrics))
+    print()
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = "  ".join(
+            f"{row.metrics[m][0]:7.3f} ({row.metrics[m][1]:.3f})"
+            for m in metrics
+        )
+        dataset = f"{row.dataset}*" if row.oracle else row.dataset
+        print(f"{row.system:14s} {dataset:10s} {row.n_runs:5d}  {cells}")
+    if any(row.oracle for row in rows):
+        print("\n* oracle drift signals (perfect detection)")
+
+
+def _cmd_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    artifacts = load_artifacts(args.results_dir)
+    if not artifacts:
+        print(f"no artifacts under {args.results_dir}")
+        return 1
+    bad = [m for m in args.metrics
+           if m not in ("kappa", "c_f1", "accuracy", "n_drifts", "n_states",
+                        "runtime_s", "n_observations")]
+    if bad:
+        parser.error(f"unknown metrics: {bad}")
+    print(f"{len(artifacts)} artifacts under {args.results_dir}")
+    _print_report(artifacts, args.metrics)
     return 0
 
 
@@ -93,15 +274,21 @@ def _cmd_datasets() -> int:
 
 
 def _cmd_systems() -> int:
-    for name in sorted(SYSTEM_BUILDERS):
-        print(name)
+    for name in system_names():
+        kind = "ficsum-family" if system_consumes_config(name) else "baseline"
+        print(f"{name:30s} {kind}")
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
     if args.command == "run":
-        return _cmd_run(args)
+        return _cmd_run(args, parser)
+    if args.command == "grid":
+        return _cmd_grid(args, parser)
+    if args.command == "report":
+        return _cmd_report(args, parser)
     if args.command == "datasets":
         return _cmd_datasets()
     return _cmd_systems()

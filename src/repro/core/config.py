@@ -9,8 +9,8 @@ and the supplementary perfect-drift-signal experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Sequence
 
 WEIGHTING_MODES = ("full", "sigma", "fisher", "none")
 
@@ -136,3 +136,33 @@ class FicsumConfig:
     def buffer_delay(self) -> int:
         """``b`` — the buffer delay in observations."""
         return max(1, int(round(self.window_size * self.buffer_ratio)))
+
+    def overrides(self) -> Dict[str, Any]:
+        """The fields that differ from the dataclass defaults.
+
+        The inverse of :meth:`from_overrides`; this is the canonical,
+        JSON-friendly representation used by experiment specs and run
+        artifacts (``seed`` is excluded — it is a per-run property of
+        the experiment cell, not of the configuration).
+        """
+        defaults = FicsumConfig()
+        diff: Dict[str, Any] = {}
+        for f in fields(self):
+            if f.name == "seed":
+                continue
+            value = getattr(self, f.name)
+            if value != getattr(defaults, f.name):
+                diff[f.name] = list(value) if isinstance(value, tuple) else value
+        return diff
+
+    @classmethod
+    def from_overrides(cls, overrides: Optional[Mapping[str, Any]]) -> "FicsumConfig":
+        """Build a config from a (possibly empty) override mapping."""
+        overrides = dict(overrides or {})
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown FicsumConfig fields {unknown}; known: {sorted(known)}"
+            )
+        return cls(**overrides)

@@ -1,15 +1,22 @@
 """High-level experiment driver: build a named system, run it on a
 named dataset.
 
-The benchmark harness and examples both go through this module, so
-every table of the paper is regenerated from the same code path:
-``run_on_dataset(system_name, dataset_name, seed, ...)``.
+Systems register through :func:`repro.registry.register_system`; the
+FiCSUM family ("ficsum", "er", "smi", "umi" and the Table V
+``fn:<group>`` variants) registers with ``consumes_config=True`` so
+callers know they accept a :class:`repro.core.FicsumConfig`, while the
+Table VI baselines ignore the config argument entirely.
+
+The benchmark harness, the experiment engine and the examples all go
+through this module, so every table of the paper is regenerated from
+the same code path: ``run_on_dataset(system_name, dataset_name, seed)``
+for one cell, or :class:`repro.experiments.Engine` for a grid.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 from repro.baselines import Arf, Cpf, Dwm, Htcd, Rcd
 from repro.core import (
@@ -22,11 +29,17 @@ from repro.core import (
 )
 from repro.evaluation.prequential import RunResult, prequential_run
 from repro.metafeatures.base import FUNCTION_GROUPS
+from repro.registry import SYSTEMS, register_system, system_consumes_config
 from repro.streams import make_dataset
 from repro.streams.base import StreamMeta
 from repro.system import AdaptiveSystem
 
 SystemBuilder = Callable[[StreamMeta, Optional[FicsumConfig], int], AdaptiveSystem]
+
+#: Deprecated alias: the system registry exposes the historical
+#: ``SYSTEM_BUILDERS`` mapping interface (``in``, iteration, and the
+#: entries themselves are callable builders).
+SYSTEM_BUILDERS = SYSTEMS
 
 
 def _ficsum_builder(factory) -> SystemBuilder:
@@ -61,41 +74,41 @@ def _single_function_builder(group: str) -> SystemBuilder:
     return build
 
 
+register_system("ficsum", consumes_config=True)(_ficsum_builder(make_ficsum))
+register_system("er", consumes_config=True)(_ficsum_builder(make_error_rate_variant))
+register_system("smi", consumes_config=True)(_ficsum_builder(make_supervised_variant))
+register_system("umi", consumes_config=True)(_ficsum_builder(make_unsupervised_variant))
+
+#: Table V single-function variants ("fn:<group>").
+for _group in FUNCTION_GROUPS:
+    register_system(f"fn:{_group}", consumes_config=True)(
+        _single_function_builder(_group)
+    )
+
+
+@register_system("htcd")
 def _build_htcd(meta, config, seed):
     return Htcd(meta.n_features, meta.n_classes, seed=seed)
 
 
+@register_system("rcd")
 def _build_rcd(meta, config, seed):
     return Rcd(meta.n_features, meta.n_classes, seed=seed)
 
 
+@register_system("dwm")
 def _build_dwm(meta, config, seed):
     return Dwm(meta.n_features, meta.n_classes)
 
 
+@register_system("arf")
 def _build_arf(meta, config, seed):
     return Arf(meta.n_features, meta.n_classes, seed=seed)
 
 
+@register_system("cpf")
 def _build_cpf(meta, config, seed):
     return Cpf(meta.n_features, meta.n_classes, seed=seed)
-
-
-#: Name -> builder.  "ficsum", the restricted variants, the Table V
-#: single-function variants ("fn:<group>") and the Table VI frameworks.
-SYSTEM_BUILDERS: Dict[str, SystemBuilder] = {
-    "ficsum": _ficsum_builder(make_ficsum),
-    "er": _ficsum_builder(make_error_rate_variant),
-    "smi": _ficsum_builder(make_supervised_variant),
-    "umi": _ficsum_builder(make_unsupervised_variant),
-    "htcd": _build_htcd,
-    "rcd": _build_rcd,
-    "dwm": _build_dwm,
-    "arf": _build_arf,
-    "cpf": _build_cpf,
-}
-for _group in FUNCTION_GROUPS:
-    SYSTEM_BUILDERS[f"fn:{_group}"] = _single_function_builder(_group)
 
 
 def build_system(
@@ -105,11 +118,12 @@ def build_system(
     seed: int = 0,
 ) -> AdaptiveSystem:
     """Instantiate a registered system for a stream's metadata."""
-    if name not in SYSTEM_BUILDERS:
-        raise KeyError(
-            f"unknown system {name!r}; available: {sorted(SYSTEM_BUILDERS)}"
-        )
-    return SYSTEM_BUILDERS[name](meta, config, seed)
+    return SYSTEMS.get(name)(meta, config, seed)
+
+
+#: The paper protocol's concept-occurrence count (Section VI) — the
+#: single authority callers inherit by passing ``n_repeats=None``.
+PAPER_N_REPEATS = 9
 
 
 def run_on_dataset(
@@ -117,22 +131,29 @@ def run_on_dataset(
     dataset_name: str,
     seed: int = 0,
     segment_length: Optional[int] = None,
-    n_repeats: int = 9,
+    n_repeats: Optional[int] = PAPER_N_REPEATS,
     config: Optional[FicsumConfig] = None,
     oracle_drift: bool = False,
     keep_history: bool = False,
 ) -> RunResult:
-    """One prequential run of a named system on a named dataset."""
+    """One prequential run of a named system on a named dataset.
+
+    ``n_repeats=None`` means the paper protocol (:data:`PAPER_N_REPEATS`).
+    """
     stream = make_dataset(
         dataset_name,
         seed=seed,
         segment_length=segment_length,
-        n_repeats=n_repeats,
+        n_repeats=n_repeats if n_repeats is not None else PAPER_N_REPEATS,
     )
+    if system_consumes_config(system_name):
+        config = _with_oracle(config, oracle_drift)
+    else:
+        config = None
     system = build_system(
         system_name,
         stream.meta,
-        config=_with_oracle(config, oracle_drift),
+        config=config,
         seed=seed,
     )
     return prequential_run(

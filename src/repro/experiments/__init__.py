@@ -1,0 +1,55 @@
+"""Declarative experiment API: specs, the parallel engine, artifacts.
+
+The paper's tables are (system x dataset x seed) grids; this package
+turns such a grid into one declarative object and executes it as fast
+as the hardware allows::
+
+    from repro.experiments import Engine, ExperimentSpec
+
+    spec = ExperimentSpec(
+        systems=["ficsum", "htcd"],
+        datasets=["STAGGER", "RBF"],
+        seeds=[1, 2],
+        segment_length=200,
+        n_repeats=2,
+    )
+    grid = Engine(results_dir="results", max_workers=4).run(spec)
+    for artifact in grid.artifacts:
+        print(artifact.cell.label(), artifact.result.kappa)
+
+Re-running the same spec loads every cell from ``results/`` instead of
+recomputing it; ``repro grid`` / ``repro report`` expose the same flow
+from the command line.
+"""
+
+from repro.experiments.artifacts import (
+    AggregateRow,
+    RunArtifact,
+    aggregate,
+    load_artifact,
+    load_artifacts,
+    save_artifact,
+)
+from repro.experiments.engine import (
+    Engine,
+    GridResult,
+    ProgressEvent,
+    run_experiment,
+)
+from repro.experiments.spec import ExperimentSpec, RunCell, content_key
+
+__all__ = [
+    "AggregateRow",
+    "RunArtifact",
+    "aggregate",
+    "load_artifact",
+    "load_artifacts",
+    "save_artifact",
+    "Engine",
+    "GridResult",
+    "ProgressEvent",
+    "run_experiment",
+    "ExperimentSpec",
+    "RunCell",
+    "content_key",
+]

@@ -1,0 +1,165 @@
+"""Persistent run artifacts: one JSON file per executed cell.
+
+An artifact records everything needed to aggregate or resume a grid
+without re-running it: the cell (system, dataset, seed, scaling,
+config overrides), the hash of the spec that produced it, the
+deterministic result payload and the (non-deterministic) timing block.
+Files are named ``<cell-key>.json`` so the engine's skip-if-cached
+check is a single ``Path.exists``.
+
+The deterministic part of an artifact — everything except the
+``timing`` block — is byte-identical across serial and parallel
+execution of the same spec, which is what the engine's determinism
+tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.evaluation.prequential import RunResult
+from repro.experiments.spec import RunCell
+
+SCHEMA_VERSION = 1
+
+#: Result fields that vary between otherwise-identical runs.
+TIMING_FIELDS = ("runtime_s",)
+
+
+def result_payload(result: RunResult) -> Dict[str, Any]:
+    """The deterministic, JSON-friendly view of a RunResult."""
+    return {
+        "accuracy": result.accuracy,
+        "kappa": result.kappa,
+        "c_f1": result.c_f1,
+        "n_observations": result.n_observations,
+        "n_drifts": result.n_drifts,
+        "n_states": result.n_states,
+        "discrimination": [float(v) for v in result.discrimination],
+    }
+
+
+@dataclass(frozen=True)
+class RunArtifact:
+    """One saved (or just-executed) run."""
+
+    key: str
+    spec_hash: str
+    cell: RunCell
+    result: RunResult
+    cached: bool = False
+    path: Optional[Path] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "key": self.key,
+            "spec_hash": self.spec_hash,
+            "cell": self.cell.to_dict(),
+            "result": result_payload(self.result),
+            "timing": {"runtime_s": self.result.runtime_s},
+        }
+
+
+def artifact_from_payload(
+    payload: Dict[str, Any], path: Optional[Path] = None, cached: bool = False
+) -> RunArtifact:
+    cell = RunCell.from_dict(payload["cell"])
+    res = dict(payload["result"])
+    result = RunResult(
+        accuracy=res["accuracy"],
+        kappa=res["kappa"],
+        c_f1=res["c_f1"],
+        runtime_s=float(payload.get("timing", {}).get("runtime_s", 0.0)),
+        n_observations=res["n_observations"],
+        n_drifts=res["n_drifts"],
+        n_states=res["n_states"],
+        discrimination=list(res.get("discrimination", [])),
+    )
+    return RunArtifact(
+        key=payload["key"],
+        spec_hash=payload.get("spec_hash", ""),
+        cell=cell,
+        result=result,
+        cached=cached,
+        path=path,
+    )
+
+
+def save_artifact(results_dir: Union[str, Path], artifact: RunArtifact) -> Path:
+    """Write ``<key>.json`` (stable key order, trailing newline)."""
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / f"{artifact.key}.json"
+    path.write_text(
+        json.dumps(artifact.to_payload(), sort_keys=True, indent=2) + "\n"
+    )
+    return path
+
+
+def load_artifact(path: Union[str, Path]) -> RunArtifact:
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    return artifact_from_payload(payload, path=path, cached=True)
+
+
+def load_artifacts(results_dir: Union[str, Path]) -> List[RunArtifact]:
+    """All artifacts under a results directory, sorted by key."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        return []
+    artifacts = []
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            artifacts.append(load_artifact(path))
+        except (ValueError, KeyError, TypeError):
+            continue  # not a run artifact (bad JSON / wrong shape); skip
+    return artifacts
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """Per-(system, dataset, oracle) summary across seeds."""
+
+    system: str
+    dataset: str
+    n_runs: int
+    metrics: Dict[str, Tuple[float, float]]  # metric -> (mean, std)
+    oracle: bool = False
+
+
+def aggregate(
+    artifacts: Iterable[RunArtifact],
+    metrics: Sequence[str] = ("kappa", "c_f1", "accuracy"),
+) -> List[AggregateRow]:
+    """Group artifacts by (system, dataset, oracle) and summarise.
+
+    Oracle and detector-driven runs answer different questions (the
+    paper's supplementary protocol vs Tables IV/VI), so a results
+    directory holding both yields separate rows rather than a silently
+    pooled mean.
+    """
+    groups: Dict[Tuple[str, str, bool], List[RunArtifact]] = {}
+    for artifact in artifacts:
+        groups.setdefault(
+            (artifact.cell.system, artifact.cell.dataset, artifact.cell.oracle),
+            [],
+        ).append(artifact)
+    rows = []
+    for (system, dataset, oracle), group in sorted(groups.items()):
+        summary: Dict[str, Tuple[float, float]] = {}
+        for metric in metrics:
+            values = [float(getattr(a.result, metric)) for a in group]
+            mean = sum(values) / len(values)
+            var = sum((v - mean) ** 2 for v in values) / len(values)
+            summary[metric] = (mean, var ** 0.5)
+        rows.append(
+            AggregateRow(
+                system=system, dataset=dataset, n_runs=len(group),
+                metrics=summary, oracle=oracle,
+            )
+        )
+    return rows

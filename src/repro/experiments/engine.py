@@ -1,0 +1,243 @@
+"""The experiment engine: parallel, resumable grid execution.
+
+The :class:`Engine` expands an :class:`~repro.experiments.spec.ExperimentSpec`
+into run cells and executes them with a ``ProcessPoolExecutor``
+(``max_workers=1`` runs inline, which is handy under debuggers and for
+the determinism tests).  Every executed cell is serialized to
+``<results_dir>/<cell-key>.json``; cells whose artifact already exists
+are loaded instead of re-run, so an interrupted grid resumes for free
+and shared cells (Tables III and IV intentionally reuse one grid of
+runs) execute once.
+
+Determinism: each cell seeds its own stream and system from the cell's
+``seed`` alone, so results are independent of worker count and
+completion order — the same spec run serially and with ``max_workers=4``
+produces byte-identical artifacts up to the ``timing`` block.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.evaluation.prequential import RunResult
+from repro.experiments.artifacts import (
+    RunArtifact,
+    artifact_from_payload,
+    load_artifact,
+    result_payload,
+    save_artifact,
+)
+from repro.experiments.spec import ExperimentSpec, RunCell
+
+
+def _execute_cell(cell_payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one cell, return its artifact payload.
+
+    Takes and returns plain dicts so the call pickles cheaply across
+    process boundaries.  Imports stay inside the worker path so a
+    forked/ spawned interpreter registers the built-in systems and
+    datasets before building anything.
+    """
+    from repro.evaluation.runner import run_on_dataset
+
+    cell = RunCell.from_dict(cell_payload)
+    result = run_on_dataset(
+        cell.system,
+        cell.dataset,
+        seed=cell.seed,
+        segment_length=cell.segment_length,
+        n_repeats=cell.n_repeats,  # None -> the runner's paper default
+        config=cell.config(),
+        oracle_drift=cell.oracle,
+        keep_history=False,
+    )
+    return {
+        "key": cell.key(),
+        "cell": cell.to_dict(),
+        "result": result_payload(result),
+        "timing": {"runtime_s": result.runtime_s},
+    }
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Emitted to the engine's progress callback."""
+
+    kind: str  # "cached" | "start" | "done"
+    cell: RunCell
+    index: int
+    total: int
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """Everything the engine produced for one spec."""
+
+    spec: ExperimentSpec
+    spec_hash: str
+    artifacts: List[RunArtifact]  # in spec.expand() order
+    n_executed: int
+    n_cached: int
+    wall_time_s: float
+
+    @property
+    def results(self) -> List[RunResult]:
+        return [artifact.result for artifact in self.artifacts]
+
+
+class Engine:
+    """Executes experiment specs against a worker pool + artifact store.
+
+    Parameters
+    ----------
+    results_dir:
+        Artifact directory; ``None`` disables persistence (cells still
+        deduplicate within a single call).
+    max_workers:
+        Process-pool width; ``1`` executes inline in this process.
+    progress:
+        Optional callback receiving :class:`ProgressEvent` for every
+        cached / started / finished cell.
+    """
+
+    def __init__(
+        self,
+        results_dir: Union[None, str, Path] = None,
+        max_workers: int = 1,
+        progress: Optional[Callable[[ProgressEvent], None]] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.results_dir = Path(results_dir) if results_dir is not None else None
+        self.max_workers = max_workers
+        self.progress = progress
+
+    def _emit(self, kind: str, cell: RunCell, index: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(ProgressEvent(kind, cell, index, total))
+
+    def _load_cached(self, key: str) -> Optional[RunArtifact]:
+        """The saved artifact for ``key``, or None if absent/unreadable.
+
+        A corrupt artifact (e.g. truncated by a killed run) must not
+        wedge the grid: treat it as missing and re-execute the cell,
+        overwriting the bad file.
+        """
+        if self.results_dir is None:
+            return None
+        path = self.results_dir / f"{key}.json"
+        if not path.exists():
+            return None
+        try:
+            return load_artifact(path)
+        except (ValueError, KeyError, TypeError):  # bad JSON or wrong shape
+            return None
+
+    def run(self, spec: ExperimentSpec) -> GridResult:
+        """Execute (or resume) every cell of ``spec``."""
+        start = time.perf_counter()
+        spec_hash = spec.spec_hash()
+        cells = spec.expand()
+        total = len(cells)
+        artifacts: List[Optional[RunArtifact]] = [None] * total
+
+        # Deduplicate identical cells and satisfy from disk first.
+        pending: Dict[str, List[int]] = {}
+        n_cached = 0
+        for index, cell in enumerate(cells):
+            key = cell.key()
+            if key in pending:
+                pending[key].append(index)
+                continue
+            artifact = self._load_cached(key)
+            if artifact is not None:
+                artifacts[index] = artifact
+                n_cached += 1
+                self._emit("cached", cell, index, total)
+            else:
+                pending[key] = [index]
+
+        todo = [(indices[0], cells[indices[0]]) for indices in pending.values()]
+        if self.max_workers == 1 or len(todo) <= 1:
+            for index, cell in todo:
+                self._emit("start", cell, index, total)
+                payload = _execute_cell(cell.to_dict())
+                artifacts[index] = self._finish(payload, spec_hash)
+                self._emit("done", cell, index, total)
+        else:
+            self._run_pool(todo, artifacts, spec_hash, total)
+
+        # Fan shared results out to duplicate cells.
+        for key, indices in pending.items():
+            for index in indices[1:]:
+                artifacts[index] = artifacts[indices[0]]
+
+        n_executed = len(todo)
+        return GridResult(
+            spec=spec,
+            spec_hash=spec_hash,
+            artifacts=[a for a in artifacts if a is not None],
+            n_executed=n_executed,
+            n_cached=n_cached,
+            wall_time_s=time.perf_counter() - start,
+        )
+
+    def _run_pool(
+        self,
+        todo: List,
+        artifacts: List[Optional[RunArtifact]],
+        spec_hash: str,
+        total: int,
+    ) -> None:
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = {}
+            for index, cell in todo:
+                self._emit("start", cell, index, total)
+                futures[pool.submit(_execute_cell, cell.to_dict())] = (index, cell)
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, cell = futures[future]
+                    try:
+                        payload = future.result()
+                    except Exception as exc:
+                        for other in outstanding:
+                            other.cancel()
+                        raise RuntimeError(
+                            f"experiment cell {cell.label()} failed"
+                        ) from exc
+                    artifacts[index] = self._finish(payload, spec_hash)
+                    self._emit("done", cell, index, total)
+
+    def _finish(self, payload: Dict[str, Any], spec_hash: str) -> RunArtifact:
+        payload = dict(payload)
+        payload["spec_hash"] = spec_hash
+        artifact = artifact_from_payload(payload)
+        if self.results_dir is not None:
+            path = save_artifact(self.results_dir, artifact)
+            artifact = RunArtifact(
+                key=artifact.key,
+                spec_hash=artifact.spec_hash,
+                cell=artifact.cell,
+                result=artifact.result,
+                cached=False,
+                path=path,
+            )
+        return artifact
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    results_dir: Union[None, str, Path] = None,
+    max_workers: int = 1,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
+) -> GridResult:
+    """One-call convenience wrapper around :class:`Engine`."""
+    return Engine(
+        results_dir=results_dir, max_workers=max_workers, progress=progress
+    ).run(spec)

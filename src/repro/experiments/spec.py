@@ -1,0 +1,257 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` names *what* to run — systems, datasets,
+seeds, stream scaling, oracle mode and FiCSUM config overrides — and
+expands into a deterministic matrix of :class:`RunCell` objects, one
+per (system x dataset x seed).  *How* the matrix executes (worker
+pool, caching, artifact persistence) is the
+:class:`repro.experiments.Engine`'s job.
+
+Every cell has a stable content hash (:meth:`RunCell.key`) used as the
+artifact file name and resume key: the same cell always hashes to the
+same key, regardless of which spec produced it or in which order the
+matrix was expanded.  Config overrides are dropped from cells whose
+system does not consume a :class:`~repro.core.FicsumConfig`, so a
+baseline run is cached once no matter which FiCSUM tunables rode along
+in the spec.
+
+Specs round-trip to plain dicts (:meth:`to_dict` / :meth:`from_dict`)
+and load from JSON or TOML files (:meth:`from_file`)::
+
+    # grid.toml
+    systems = ["ficsum", "htcd"]
+    datasets = ["STAGGER", "RBF"]
+    seeds = [1, 2]
+    segment_length = 200
+    n_repeats = 2
+
+    [config]
+    fingerprint_period = 10
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core import FicsumConfig
+from repro.registry import DATASETS, SYSTEMS, system_consumes_config
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - exercised on 3.9/3.10 only
+    try:
+        import tomli as tomllib  # type: ignore[no-redef]
+    except ImportError:
+        tomllib = None
+
+
+def _canonical_json(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_key(payload: Any, length: int = 16) -> str:
+    """A stable hex digest of a JSON-serialisable payload."""
+    digest = hashlib.sha256(_canonical_json(payload).encode("utf-8"))
+    return digest.hexdigest()[:length]
+
+
+@dataclass(frozen=True)
+class RunCell:
+    """One fully-resolved run: everything ``run_on_dataset`` needs."""
+
+    system: str
+    dataset: str
+    seed: int
+    segment_length: Optional[int] = None
+    n_repeats: Optional[int] = None
+    oracle: bool = False
+    config_overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["config_overrides"] = dict(self.config_overrides)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunCell":
+        overrides = dict(payload.get("config_overrides") or {})
+        return cls(
+            system=payload["system"],
+            dataset=payload["dataset"],
+            seed=int(payload["seed"]),
+            segment_length=payload.get("segment_length"),
+            n_repeats=payload.get("n_repeats"),
+            oracle=bool(payload.get("oracle", False)),
+            config_overrides=tuple(sorted(overrides.items())),
+        )
+
+    def key(self) -> str:
+        """Content hash identifying this cell across processes and runs."""
+        return content_key(self.to_dict())
+
+    def config(self) -> Optional[FicsumConfig]:
+        """The FicsumConfig for this cell, or None for baseline systems."""
+        if not self.config_overrides:
+            return None
+        return FicsumConfig.from_overrides(dict(self.config_overrides))
+
+    def label(self) -> str:
+        return f"{self.system} x {self.dataset} (seed {self.seed})"
+
+
+def _normalized_overrides(
+    config: Union[None, FicsumConfig, Mapping[str, Any]]
+) -> Dict[str, Any]:
+    """Canonical override dict from a config object or mapping."""
+    if config is None:
+        return {}
+    if isinstance(config, FicsumConfig):
+        return config.overrides()
+    # Round-trip through the dataclass to validate names and values and
+    # to drop entries that merely restate the defaults.
+    return FicsumConfig.from_overrides(dict(config)).overrides()
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative (system x dataset x seed) experiment grid.
+
+    Parameters
+    ----------
+    systems / datasets:
+        Registered names (see ``repro systems`` / ``repro datasets``).
+    seeds:
+        One run per seed for every (system, dataset) pair.
+    segment_length / n_repeats:
+        Stream scaling forwarded to ``make_dataset``; ``None`` keeps
+        the per-dataset paper-scale defaults.
+    oracle:
+        Signal ground-truth drift boundaries (the supplementary
+        perfect-detection protocol).
+    config:
+        FiCSUM tunables applied to every config-consuming system —
+        either a :class:`FicsumConfig` or a dict of field overrides.
+    """
+
+    systems: Tuple[str, ...]
+    datasets: Tuple[str, ...]
+    seeds: Tuple[int, ...] = (0,)
+    segment_length: Optional[int] = None
+    n_repeats: Optional[int] = None
+    oracle: bool = False
+    config: Union[None, FicsumConfig, Mapping[str, Any]] = None
+
+    def __init__(
+        self,
+        systems: Sequence[str],
+        datasets: Sequence[str],
+        seeds: Sequence[int] = (0,),
+        segment_length: Optional[int] = None,
+        n_repeats: Optional[int] = None,
+        oracle: bool = False,
+        config: Union[None, FicsumConfig, Mapping[str, Any]] = None,
+    ) -> None:
+        if not systems:
+            raise ValueError("ExperimentSpec needs at least one system")
+        if not datasets:
+            raise ValueError("ExperimentSpec needs at least one dataset")
+        if not seeds:
+            raise ValueError("ExperimentSpec needs at least one seed")
+        object.__setattr__(self, "systems", tuple(systems))
+        object.__setattr__(self, "datasets", tuple(datasets))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in seeds))
+        object.__setattr__(self, "segment_length", segment_length)
+        object.__setattr__(self, "n_repeats", n_repeats)
+        object.__setattr__(self, "oracle", bool(oracle))
+        object.__setattr__(self, "config", _normalized_overrides(config))
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.systems) * len(self.datasets) * len(self.seeds)
+
+    def validate(self) -> None:
+        """Raise KeyError (listing available names) on unknown entries."""
+        for system in self.systems:
+            SYSTEMS.get(system)
+        for dataset in self.datasets:
+            DATASETS.get(dataset)
+
+    def expand(self) -> List[RunCell]:
+        """The run matrix, in deterministic system-major order."""
+        self.validate()
+        cells: List[RunCell] = []
+        overrides = tuple(sorted(dict(self.config).items()))
+        for system in self.systems:
+            cell_overrides = overrides if system_consumes_config(system) else ()
+            for dataset in self.datasets:
+                for seed in self.seeds:
+                    cells.append(
+                        RunCell(
+                            system=system,
+                            dataset=dataset,
+                            seed=seed,
+                            segment_length=self.segment_length,
+                            n_repeats=self.n_repeats,
+                            oracle=self.oracle,
+                            config_overrides=cell_overrides,
+                        )
+                    )
+        return cells
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "systems": list(self.systems),
+            "datasets": list(self.datasets),
+            "seeds": list(self.seeds),
+            "segment_length": self.segment_length,
+            "n_repeats": self.n_repeats,
+            "oracle": self.oracle,
+            "config": dict(self.config),
+        }
+
+    def spec_hash(self) -> str:
+        """Content hash of the whole spec (stored in artifacts)."""
+        return content_key(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
+        known = {
+            "systems", "datasets", "seeds", "segment_length", "n_repeats",
+            "oracle", "config",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentSpec fields {unknown}; known: {sorted(known)}"
+            )
+        return cls(
+            systems=payload.get("systems") or (),
+            datasets=payload.get("datasets") or (),
+            # .get with a default, not `or`: an explicit empty seed list
+            # must fail validation, only an absent key means "seed 0".
+            seeds=payload.get("seeds", (0,)),
+            segment_length=payload.get("segment_length"),
+            n_repeats=payload.get("n_repeats"),
+            oracle=payload.get("oracle", False),
+            config=payload.get("config"),
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ExperimentSpec":
+        """Load a spec from a ``.json`` or ``.toml`` file."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix.lower() == ".toml":
+            if tomllib is None:
+                raise RuntimeError(
+                    "TOML specs need tomllib (Python >= 3.11) or the tomli "
+                    f"package; use a JSON spec instead: {path}"
+                )
+            payload = tomllib.loads(text)
+        else:
+            payload = json.loads(text)
+        return cls.from_dict(payload)

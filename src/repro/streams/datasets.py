@@ -1,12 +1,14 @@
-"""Dataset registry reproducing Table II plus the Synth* datasets.
+"""Dataset registrations reproducing Table II plus the Synth* datasets.
 
-``make_dataset(name, seed)`` returns a :class:`RecurrentStream` whose
-pool, dimensionality and context count follow Table II of the paper.
-Synthetic pools come from the generator ports; real-world datasets use
-the generative stand-ins of :mod:`repro.streams.realworld` (see
-DESIGN.md §3).  Segment lengths default to (paper length) /
-(contexts x 9 repeats) and can be overridden — the benchmark harness
-runs scaled-down streams by default.
+Every dataset registers its concept-pool factory through
+:func:`repro.registry.register_dataset` together with its Table II
+characteristics; ``make_dataset(name, seed)`` is a thin query over the
+registry that returns a :class:`RecurrentStream`.  Synthetic pools come
+from the generator ports; real-world datasets use the generative
+stand-ins of :mod:`repro.streams.realworld` (see DESIGN.md §3).
+Segment lengths default to (paper length) / (contexts x 9 repeats) and
+can be overridden — the benchmark harness runs scaled-down streams by
+default.
 
 The ``SynthD/A/F`` family of Section VI-6 shares a *single* random-tree
 labelling function across all concepts and varies only the feature
@@ -14,15 +16,22 @@ sampling (distribution / autocorrelation / frequency), exactly as the
 paper describes.  HPLANE-U and RTREE-U likewise inject feature drift
 over a fixed labeller, which is what puts them in the "drift mainly in
 p(X)" segment of Table IV.
+
+User-defined datasets plug in the same way::
+
+    @register_dataset("MY-STREAM", paper_length=10_000, n_features=4,
+                      n_contexts=3, n_classes=2, drift_type="p(X)")
+    def my_pool(seed):
+        return [...]  # list of ConceptGenerator
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
+from repro.registry import DATASETS, DatasetSpec, register_dataset
 from repro.streams import realworld
 from repro.streams.base import ConceptGenerator
 from repro.streams.recurrence import RecurrentStream
@@ -36,32 +45,71 @@ from repro.streams.synthetic.random_tree import RandomTreeConcept
 from repro.streams.synthetic.hyperplane import HyperplaneConcept
 from repro.streams.transforms import drifting_pool
 
-
-@dataclass(frozen=True)
-class DatasetSpec:
-    """Registry entry: Table II characteristics + pool factory."""
-
-    name: str
-    paper_length: int
-    n_features: int
-    n_contexts: int
-    n_classes: int
-    drift_type: str  # "p(y|X)", "p(X)" or "mixed" (Table IV segments)
-    pool: Callable[[int], List[ConceptGenerator]]
+__all__ = [
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "SYNTH_DATASETS",
+    "dataset_names",
+    "dataset_info",
+    "default_segment_length",
+    "make_dataset",
+]
 
 
-def _stagger_pool(seed: int) -> List[ConceptGenerator]:
-    return stagger_concepts(3, seed)
+register_dataset(
+    "AQTemp", paper_length=24000, n_features=25, n_contexts=6, n_classes=3,
+    drift_type="mixed",
+)(realworld.aqtemp_concepts)
+register_dataset(
+    "AQSex", paper_length=24000, n_features=25, n_contexts=6, n_classes=2,
+    drift_type="p(y|X)",
+)(realworld.aqsex_concepts)
+register_dataset(
+    "Arabic", paper_length=8800, n_features=10, n_contexts=10, n_classes=10,
+    drift_type="p(X)",
+)(realworld.arabic_concepts)
+register_dataset(
+    "CMC", paper_length=1473, n_features=8, n_contexts=2, n_classes=3,
+    drift_type="p(X)",
+)(realworld.cmc_concepts)
+register_dataset(
+    "QG", paper_length=4010, n_features=63, n_contexts=10, n_classes=2,
+    drift_type="p(X)",
+)(realworld.qg_concepts)
+register_dataset(
+    "UCI-Wine", paper_length=6498, n_features=11, n_contexts=2, n_classes=2,
+    drift_type="p(X)",
+)(realworld.wine_concepts)
 
 
+@register_dataset(
+    "RBF", paper_length=30000, n_features=10, n_contexts=6, n_classes=2,
+    drift_type="p(y|X)",
+)
 def _rbf_pool(seed: int) -> List[ConceptGenerator]:
     return rbf_concepts(6, seed, n_features=10, n_classes=2)
 
 
+@register_dataset(
+    "RTREE", paper_length=30000, n_features=10, n_contexts=6, n_classes=2,
+    drift_type="p(y|X)",
+)
 def _rtree_pool(seed: int) -> List[ConceptGenerator]:
     return random_tree_concepts(6, seed, n_features=10, n_classes=2)
 
 
+@register_dataset(
+    "STAGGER", paper_length=30000, n_features=3, n_contexts=3, n_classes=2,
+    drift_type="p(y|X)",
+)
+def _stagger_pool(seed: int) -> List[ConceptGenerator]:
+    return stagger_concepts(3, seed)
+
+
+@register_dataset(
+    "HPLANE-U", paper_length=30000, n_features=10, n_contexts=6, n_classes=2,
+    drift_type="p(X)",
+)
 def _hplane_u_pool(seed: int) -> List[ConceptGenerator]:
     base = HyperplaneConcept(seed=seed * 1000 + 3, n_features=10, noise=0.05)
     return drifting_pool(
@@ -70,6 +118,10 @@ def _hplane_u_pool(seed: int) -> List[ConceptGenerator]:
     )
 
 
+@register_dataset(
+    "RTREE-U", paper_length=30000, n_features=10, n_contexts=6, n_classes=2,
+    drift_type="p(X)",
+)
 def _rtree_u_pool(seed: int) -> List[ConceptGenerator]:
     base = RandomTreeConcept(seed=seed * 1000 + 5, n_features=10, n_classes=2)
     return drifting_pool(
@@ -92,25 +144,6 @@ def _synth_pool(distribution: bool, autocorrelation: bool, frequency: bool):
     return factory
 
 
-_REGISTRY: Dict[str, DatasetSpec] = {}
-
-
-def _register(spec: DatasetSpec) -> None:
-    _REGISTRY[spec.name] = spec
-
-
-_register(DatasetSpec("AQTemp", 24000, 25, 6, 3, "mixed", realworld.aqtemp_concepts))
-_register(DatasetSpec("AQSex", 24000, 25, 6, 2, "p(y|X)", realworld.aqsex_concepts))
-_register(DatasetSpec("Arabic", 8800, 10, 10, 10, "p(X)", realworld.arabic_concepts))
-_register(DatasetSpec("CMC", 1473, 8, 2, 3, "p(X)", realworld.cmc_concepts))
-_register(DatasetSpec("QG", 4010, 63, 10, 2, "p(X)", realworld.qg_concepts))
-_register(DatasetSpec("UCI-Wine", 6498, 11, 2, 2, "p(X)", realworld.wine_concepts))
-_register(DatasetSpec("RBF", 30000, 10, 6, 2, "p(y|X)", _rbf_pool))
-_register(DatasetSpec("RTREE", 30000, 10, 6, 2, "p(y|X)", _rtree_pool))
-_register(DatasetSpec("STAGGER", 30000, 3, 3, 2, "p(y|X)", _stagger_pool))
-_register(DatasetSpec("HPLANE-U", 30000, 10, 6, 2, "p(X)", _hplane_u_pool))
-_register(DatasetSpec("RTREE-U", 30000, 10, 6, 2, "p(X)", _rtree_u_pool))
-
 for _flags, _suffix in [
     ((False, True, False), "A"),
     ((False, True, True), "AF"),
@@ -120,17 +153,10 @@ for _flags, _suffix in [
     ((True, False, True), "DF"),
     ((False, False, True), "F"),
 ]:
-    _register(
-        DatasetSpec(
-            f"Synth{_suffix}",
-            30000,
-            5,
-            6,
-            2,
-            "p(X)",
-            _synth_pool(*_flags),
-        )
-    )
+    register_dataset(
+        f"Synth{_suffix}", paper_length=30000, n_features=5, n_contexts=6,
+        n_classes=2, drift_type="p(X)",
+    )(_synth_pool(*_flags))
 
 PAPER_DATASETS = [
     "AQTemp", "AQSex", "Arabic", "CMC", "QG", "UCI-Wine",
@@ -143,12 +169,12 @@ SYNTH_DATASETS = [
 
 def dataset_names() -> List[str]:
     """All registered dataset names."""
-    return list(_REGISTRY)
+    return list(DATASETS)
 
 
 def dataset_info(name: str) -> DatasetSpec:
     """The registry entry for ``name`` (raises ``KeyError`` if unknown)."""
-    return _REGISTRY[name]
+    return DATASETS.get(name)
 
 
 def default_segment_length(spec: DatasetSpec, n_repeats: int) -> int:
@@ -176,11 +202,7 @@ def make_dataset(
     n_repeats:
         Occurrences of each concept (paper protocol: 9).
     """
-    if name not in _REGISTRY:
-        raise KeyError(
-            f"unknown dataset {name!r}; available: {sorted(_REGISTRY)}"
-        )
-    spec = _REGISTRY[name]
+    spec = DATASETS.get(name)
     if segment_length is None:
         segment_length = default_segment_length(spec, n_repeats)
     pool = spec.pool(seed)

@@ -1,0 +1,149 @@
+"""Tests for the decorator-based system/dataset registries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import Htcd
+from repro.evaluation import build_system, run_on_dataset
+from repro.registry import (
+    DATASETS,
+    SYSTEMS,
+    Registry,
+    register_dataset,
+    register_system,
+    system_consumes_config,
+)
+from repro.streams import make_dataset
+from repro.streams.synthetic import StaggerConcept
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        reg = Registry("thing")
+        reg.add("a", 1)
+        with pytest.raises(ValueError, match="duplicate thing name 'a'"):
+            reg.add("a", 2)
+        assert reg["a"] == 1
+
+    def test_replace_overrides(self):
+        reg = Registry("thing")
+        reg.add("a", 1)
+        reg.add("a", 2, replace=True)
+        assert reg["a"] == 2
+
+    def test_unknown_name_lists_available(self):
+        reg = Registry("thing")
+        reg.add("alpha", 1)
+        reg.add("beta", 2)
+        with pytest.raises(KeyError) as excinfo:
+            reg.get("gamma")
+        message = str(excinfo.value)
+        assert "unknown thing 'gamma'" in message
+        assert "alpha" in message and "beta" in message
+
+    def test_get_with_default_does_not_raise(self):
+        reg = Registry("thing")
+        reg.add("alpha", 1)
+        assert reg.get("gamma", None) is None
+        assert reg.get("alpha", None) == 1
+
+    def test_mapping_protocol(self):
+        reg = Registry("thing")
+        reg.add("b", 2)
+        reg.add("a", 1)
+        assert "a" in reg
+        assert len(reg) == 2
+        assert sorted(reg) == ["a", "b"]
+        assert reg.names() == ["a", "b"]
+
+    def test_unregister_is_idempotent(self):
+        reg = Registry("thing")
+        reg.add("a", 1)
+        reg.unregister("a")
+        reg.unregister("a")
+        assert "a" not in reg
+
+
+class TestSystemRegistry:
+    def test_builtin_systems_present(self):
+        for name in ("ficsum", "er", "smi", "umi", "htcd", "rcd", "dwm",
+                     "arf", "cpf", "fn:mean"):
+            assert name in SYSTEMS
+
+    def test_consumes_config_flags(self):
+        for name in ("ficsum", "er", "smi", "umi", "fn:mean"):
+            assert system_consumes_config(name)
+        for name in ("htcd", "rcd", "dwm", "arf", "cpf"):
+            assert not system_consumes_config(name)
+
+    def test_duplicate_system_rejected(self):
+        with pytest.raises(ValueError, match="duplicate system"):
+            @register_system("ficsum")
+            def _builder(meta, config, seed):  # pragma: no cover
+                raise AssertionError
+
+    def test_unknown_system_lists_available(self):
+        stream = make_dataset("STAGGER", seed=0, segment_length=20, n_repeats=1)
+        with pytest.raises(KeyError, match="ficsum"):
+            build_system("nope", stream.meta)
+
+    def test_custom_system_runs_end_to_end(self):
+        @register_system("test-custom-htcd")
+        def build(meta, config, seed):
+            return Htcd(meta.n_features, meta.n_classes, seed=seed)
+
+        try:
+            result = run_on_dataset(
+                "test-custom-htcd", "STAGGER", seed=0,
+                segment_length=100, n_repeats=1,
+            )
+            assert result.n_observations == 300
+        finally:
+            SYSTEMS.unregister("test-custom-htcd")
+        assert "test-custom-htcd" not in SYSTEMS
+
+    def test_decorator_returns_builder(self):
+        def build(meta, config, seed):  # pragma: no cover
+            raise AssertionError
+
+        try:
+            returned = register_system("test-passthrough")(build)
+            assert returned is build
+        finally:
+            SYSTEMS.unregister("test-passthrough")
+
+
+class TestDatasetRegistry:
+    def test_builtin_datasets_present(self):
+        for name in ("STAGGER", "RBF", "UCI-Wine", "SynthDAF"):
+            assert name in DATASETS
+
+    def test_duplicate_dataset_rejected(self):
+        with pytest.raises(ValueError, match="duplicate dataset"):
+            register_dataset(
+                "STAGGER", paper_length=1, n_features=1, n_contexts=1,
+                n_classes=2, drift_type="p(X)",
+            )(lambda seed: [])
+
+    def test_custom_dataset_runs_end_to_end(self):
+        @register_dataset(
+            "TEST-STAGGER", paper_length=900, n_features=3, n_contexts=2,
+            n_classes=2, drift_type="p(y|X)",
+        )
+        def pool(seed):
+            return [StaggerConcept(0), StaggerConcept(1)]
+
+        try:
+            stream = make_dataset(
+                "TEST-STAGGER", seed=1, segment_length=50, n_repeats=1
+            )
+            assert stream.meta.n_features == 3
+            result = run_on_dataset(
+                "htcd", "TEST-STAGGER", seed=1, segment_length=50, n_repeats=1
+            )
+            assert result.n_observations == 100
+        finally:
+            DATASETS.unregister("TEST-STAGGER")
+        with pytest.raises(KeyError, match="STAGGER"):
+            make_dataset("TEST-STAGGER")
