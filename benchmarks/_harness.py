@@ -26,11 +26,13 @@ across code changes).  Each bench writes its rendered table to
 from __future__ import annotations
 
 import atexit
+import json
 import os
+import platform
 import shutil
 import tempfile
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,6 +57,56 @@ else:
 #: One engine for the whole benchmark process: its artifact store is
 #: what deduplicates runs across benches.
 ENGINE = Engine(results_dir=ARTIFACT_DIR, max_workers=WORKERS)
+
+#: Grid results recorded since the last :func:`save_bench_json` call —
+#: the machine-readable perf trajectory of the current bench.
+_GRID_LOG: List[Any] = []
+
+
+def _record_grid(grid) -> None:
+    _GRID_LOG.append(grid)
+
+
+def save_bench_json(name: str, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Write ``results/BENCH_<name>.json`` with the bench's perf facts.
+
+    Consumes every grid executed since the previous call, so each bench
+    reports its own wall time, cells run vs served from the artifact
+    cache, and executed-observation throughput.  ``extra`` merges
+    bench-specific measurements (e.g. batch-vs-incremental ratios) into
+    the payload.
+    """
+    grids, _GRID_LOG[:] = list(_GRID_LOG), []
+    wall = sum(g.wall_time_s for g in grids)
+    executed_obs = sum(
+        a.result.n_observations
+        for g in grids
+        for a in g.artifacts
+        if not a.cached
+    )
+    total_obs = sum(
+        a.result.n_observations for g in grids for a in g.artifacts
+    )
+    payload: Dict[str, Any] = {
+        "bench": name,
+        "wall_time_s": round(wall, 4),
+        "cells_executed": sum(g.n_executed for g in grids),
+        "cells_cached": sum(g.n_cached for g in grids),
+        "observations_executed": executed_obs,
+        "observations_total": total_obs,
+        "observations_per_sec": round(executed_obs / wall, 2) if wall else 0.0,
+        "scale": SCALE,
+        "n_seeds": N_SEEDS,
+        "workers": WORKERS,
+        "python": platform.python_version(),
+    }
+    if extra:
+        payload.update(extra)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench json] {path}")
+    return payload
 
 #: Bench-scale FiCSUM configuration: larger fingerprint/repository
 #: periods than the paper defaults trade a little reactivity for an
@@ -126,6 +178,7 @@ def run_grid(
     results: Dict[str, Dict[str, List[RunResult]]] = {}
     for dataset in datasets:
         grid = ENGINE.run(_bench_spec(systems, dataset, seeds, config, oracle))
+        _record_grid(grid)
         per_system: Dict[str, List[RunResult]] = {s: [] for s in systems}
         for artifact in grid.artifacts:
             per_system[artifact.cell.system].append(artifact.result)
@@ -149,6 +202,7 @@ def run_cached(
             segment_length=segment_length, n_repeats=n_repeats,
         )
     )
+    _record_grid(grid)
     return grid.artifacts[0].result
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 import numpy as np
-from _harness import BENCH_CONFIG, mean_std, render_table, run_seeds, save_table
+from _harness import BENCH_CONFIG, mean_std, render_table, run_seeds, save_bench_json, save_table
 
 MODES = ["none", "sigma", "fisher", "full"]
 DATASETS = ["STAGGER", "Arabic", "RTREE-U"]
@@ -56,6 +56,7 @@ def test_ablation_weighting(benchmark):
     results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
     content = build_table(results)
     save_table("ablation_weighting.txt", content)
+    save_bench_json("ablation_weighting")
 
     for dataset, per_mode in results.items():
         full = np.mean([r.c_f1 for r in per_mode["full"]])

@@ -13,8 +13,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-import numpy as np
-from _harness import BENCH_CONFIG, render_table, run_cached, save_table
+from _harness import BENCH_CONFIG, render_table, run_cached, save_bench_json, save_table
 
 DATASET = "Arabic"
 
@@ -73,6 +72,7 @@ def test_fig3_sensitivity(benchmark):
     results = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
     content = build_table(results)
     save_table("fig3_sensitivity.txt", content)
+    save_bench_json("fig3_sensitivity")
 
     # Runtime must fall as the fingerprint period grows (paper: the
     # P_C panel's runtime series decreases monotonically).

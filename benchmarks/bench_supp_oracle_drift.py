@@ -12,7 +12,7 @@ matching.
 from __future__ import annotations
 
 import numpy as np
-from _harness import cell, mean_std, render_table, run_grid, save_table
+from _harness import mean_std, render_table, run_grid, save_bench_json, save_table
 
 SYSTEMS = ["er", "smi", "umi", "ficsum"]
 LABELS = {"er": "ER", "smi": "S-MI", "umi": "U-MI", "ficsum": "FiCSUM"}
@@ -48,6 +48,7 @@ def test_supp_oracle_drift(benchmark):
     results = benchmark.pedantic(run_oracle, rounds=1, iterations=1)
     content = build_table(results)
     save_table("supp_oracle_drift.txt", content)
+    save_bench_json("supp_oracle_drift")
 
     def cf1(dataset, system):
         return float(np.mean([r.c_f1 for r in results[dataset][system]]))

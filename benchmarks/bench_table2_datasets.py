@@ -6,7 +6,7 @@ count) from the registry and checks it against the paper's values.
 
 from __future__ import annotations
 
-from _harness import render_table, save_table
+from _harness import render_table, save_bench_json, save_table
 
 from repro.streams.datasets import PAPER_DATASETS, dataset_info, make_dataset
 
@@ -60,4 +60,5 @@ def build_table2() -> str:
 def test_table2_dataset_characteristics(benchmark):
     content = benchmark.pedantic(build_table2, rounds=1, iterations=1)
     save_table("table2_datasets.txt", content)
+    save_bench_json("table2_datasets")
     assert "STAGGER" in content

@@ -16,7 +16,7 @@ model selection).
 from __future__ import annotations
 
 import numpy as np
-from _harness import cell, render_table, run_grid, save_table
+from _harness import cell, render_table, run_grid, save_bench_json, save_table
 
 from repro.evaluation.discrimination import summarize_discrimination
 from repro.streams.datasets import PAPER_DATASETS
@@ -83,6 +83,7 @@ def test_table3_discrimination(benchmark):
     results = benchmark.pedantic(run_table3, rounds=1, iterations=1)
     content = build_table(results)
     save_table("table3_discrimination.txt", content)
+    save_bench_json("table3_discrimination")
 
     # Headline shape assertions (soft — single-seed bench runs).
     ficsum_wins = sum(

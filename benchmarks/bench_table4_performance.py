@@ -10,7 +10,7 @@ confirms significance.
 from __future__ import annotations
 
 import numpy as np
-from _harness import cell, mean_std, render_table, run_grid, save_table
+from _harness import cell, mean_std, render_table, run_grid, save_bench_json, save_table
 
 from repro.evaluation.stats import friedman_test, nemenyi_cd
 
@@ -93,6 +93,7 @@ def test_table4_performance(benchmark):
     results = benchmark.pedantic(run_table4, rounds=1, iterations=1)
     content = build_tables(results)
     save_table("table4_performance.txt", content)
+    save_bench_json("table4_performance")
 
     def mean_metric(dataset, system, metric):
         return float(

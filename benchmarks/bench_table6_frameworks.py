@@ -12,7 +12,7 @@ same league as the heavyweight ensembles, far cheaper than RCD.
 from __future__ import annotations
 
 import numpy as np
-from _harness import cell, mean_std, render_table, run_grid, save_table
+from _harness import cell, mean_std, render_table, run_grid, save_bench_json, save_table
 
 SYSTEMS = [
     ("htcd", "HTCD"),
@@ -63,6 +63,7 @@ def test_table6_frameworks(benchmark):
     results = benchmark.pedantic(run_table6, rounds=1, iterations=1)
     content = build_tables(results)
     save_table("table6_frameworks.txt", content)
+    save_bench_json("table6_frameworks")
 
     def mean_metric(dataset, system, metric):
         return float(

@@ -1,0 +1,19 @@
+"""Benchmark-suite fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+import _harness
+
+
+@pytest.fixture(autouse=True)
+def _isolate_bench_json_log():
+    """Drain the harness grid log before every bench.
+
+    ``save_bench_json`` consumes the grids recorded since the previous
+    call; if a bench errors before reaching it, leftover grids must not
+    leak into the next bench's ``BENCH_<name>.json``.
+    """
+    _harness._GRID_LOG.clear()
+    yield

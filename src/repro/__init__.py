@@ -30,8 +30,9 @@ artifact per run and skips cells whose artifact already exists:
 >>> grid = Engine(results_dir="results", max_workers=4).run(spec)
 
 The same flow is available from the command line (``repro grid``,
-``repro report``), and new systems/datasets plug in through
-:mod:`repro.registry` (``@register_system`` / ``@register_dataset``).
+``repro report``), and new systems, datasets and meta-information
+functions plug in through :mod:`repro.registry` (``@register_system``
+/ ``@register_dataset`` / ``@register_metafeature``).
 """
 
 from repro.core import Ficsum, FicsumConfig
@@ -48,6 +49,9 @@ _LAZY_EXPORTS = {
     "run_experiment": "repro.experiments",
     "register_system": "repro.registry",
     "register_dataset": "repro.registry",
+    "register_metafeature": "repro.registry",
+    "FingerprintPipeline": "repro.metafeatures",
+    "MetaFeature": "repro.metafeatures",
     "run_on_dataset": "repro.evaluation.runner",
 }
 

@@ -17,7 +17,7 @@ recurrences — flat C-F1 in Table VI.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -8,8 +8,6 @@ recurrences — its C-F1 is near ``1 / n_segments`` (Table VI).
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.classifiers import HoeffdingTree

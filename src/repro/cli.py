@@ -9,6 +9,7 @@ Commands
 ``report``   aggregate saved artifacts into a mean (std) table
 ``datasets`` list the registered datasets (Table II characteristics)
 ``systems``  list the registered systems
+``features`` list the registered meta-information components
 
 Examples
 --------
@@ -20,11 +21,13 @@ Examples
     repro grid --spec grid.toml --workers 8 --results-dir results
     repro report --results-dir results
     repro datasets
+    repro features list
+    repro run --system ficsum --dataset STAGGER --metafeatures mean std
 
 FiCSUM tunables (``--window-size``, ``--fingerprint-period``,
-``--repository-period``, ``--set field=value``) default to the
-paper-tuned :class:`repro.core.FicsumConfig` values and are rejected
-for baseline systems, which do not consume a config.
+``--repository-period``, ``--metafeatures``, ``--set field=value``)
+default to the paper-tuned :class:`repro.core.FicsumConfig` values and
+are rejected for baseline systems, which do not consume a config.
 """
 
 from __future__ import annotations
@@ -72,6 +75,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="FiCSUM P_S (default: FicsumConfig default)",
     )
     run.add_argument(
+        "--metafeatures", nargs="+", default=None, metavar="NAME",
+        help="meta-information component/group subset (default: all 13)",
+    )
+    run.add_argument(
         "--oracle", action="store_true",
         help="signal ground-truth drift boundaries (perfect detection)",
     )
@@ -89,6 +96,10 @@ def _build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--segment-length", type=int, default=None)
     grid.add_argument("--n-repeats", type=int, default=None)
     grid.add_argument("--oracle", action="store_true")
+    grid.add_argument(
+        "--metafeatures", nargs="+", default=None, metavar="NAME",
+        help="meta-feature selection for the FiCSUM family",
+    )
     grid.add_argument(
         "--set", dest="overrides", action="append", default=[],
         metavar="FIELD=VALUE",
@@ -114,6 +125,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list registered datasets")
     sub.add_parser("systems", help="list registered systems")
+    features = sub.add_parser(
+        "features", help="list registered meta-information components"
+    )
+    features.add_argument(
+        "action", nargs="?", default="list", choices=["list"],
+    )
     return parser
 
 
@@ -139,11 +156,16 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         for flag in _CONFIG_FLAGS
         if getattr(args, flag) is not None
     }
+    if args.metafeatures is not None:
+        overrides["metafeatures"] = args.metafeatures
     config = None
     if system_consumes_config(args.system):
         # Only deviate from the paper-tuned defaults when asked to.
         if overrides:
-            config = FicsumConfig(**overrides)
+            try:
+                config = FicsumConfig(**overrides)
+            except ValueError as exc:
+                parser.error(str(exc))
     elif overrides:
         flags = ", ".join("--" + f.replace("_", "-") for f in sorted(overrides))
         parser.error(
@@ -193,6 +215,8 @@ def _cmd_grid(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         payload["n_repeats"] = args.n_repeats
     if args.oracle:
         payload["oracle"] = True
+    if args.metafeatures is not None:
+        payload["metafeatures"] = args.metafeatures
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     overrides = _parse_overrides(args.overrides, parser)
@@ -280,6 +304,33 @@ def _cmd_systems() -> int:
     return 0
 
 
+def _cmd_features() -> int:
+    from repro.metafeatures import function_groups
+    from repro.registry import METAFEATURES
+
+    groups = {
+        name: group
+        for group, members in function_groups().items()
+        for name in members
+    }
+    print(f"{'name':14s} {'group':24s} {'update':>12s}  flags")
+    for name in METAFEATURES.ordered_names():
+        component = METAFEATURES[name]
+        flags = []
+        if component.classifier_dependent:
+            flags.append("classifier-dependent")
+        if component.needs_classifier:
+            flags.append("needs-classifier")
+        if component.feature_sources_only:
+            flags.append("feature-sources-only")
+        update = "incremental" if component.incremental else "batch"
+        print(
+            f"{name:14s} {groups.get(name, name):24s} {update:>12s}  "
+            + (", ".join(flags) or "-")
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -291,6 +342,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args, parser)
     if args.command == "datasets":
         return _cmd_datasets()
+    if args.command == "features":
+        return _cmd_features()
     return _cmd_systems()
 
 

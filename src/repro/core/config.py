@@ -9,7 +9,7 @@ and the supplementary perfect-drift-signal experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Any, Dict, Mapping, Optional, Sequence
 
 WEIGHTING_MODES = ("full", "sigma", "fisher", "none")
@@ -38,10 +38,16 @@ class FicsumConfig:
     min_similarity_std:
         Floor on the recorded similarity deviation, so acceptance never
         becomes numerically impossible for ultra-stable concepts.
-    functions / source_set:
-        Meta-information functions (names or Table V group names) and
+    metafeatures / source_set:
+        Meta-information component selection (registered component or
+        Table V group names; ``None`` = the full built-in set) and
         behaviour-source restriction ("all", "supervised",
-        "unsupervised", "error_rate").
+        "unsupervised", "error_rate").  ``functions`` is the legacy
+        alias for ``metafeatures`` and is normalised into it.
+    incremental:
+        Serve rolling-capable meta-features from O(1) accumulators on
+        the fingerprint hot path (batch recomputation remains the
+        reference path and is used when disabled).
     weighting:
         "full" (paper), "sigma" (scale term only), "fisher"
         (discrimination term only) or "none" (plain cosine) — ablation.
@@ -86,8 +92,10 @@ class FicsumConfig:
     repository_period: int = 25
     similarity_gate: float = 2.0
     min_similarity_std: float = 0.015
+    metafeatures: Optional[Sequence[str]] = None
     functions: Optional[Sequence[str]] = None
     source_set: str = "all"
+    incremental: bool = True
     weighting: str = "full"
     plasticity: bool = True
     second_selection: bool = True
@@ -105,6 +113,24 @@ class FicsumConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if self.functions is not None:
+            if self.metafeatures is not None and tuple(
+                self.metafeatures
+            ) != tuple(self.functions):
+                raise ValueError(
+                    "functions is a legacy alias of metafeatures; "
+                    "pass only one of them"
+                )
+            self.metafeatures = self.functions
+            self.functions = None
+        if self.metafeatures is not None:
+            self.metafeatures = tuple(self.metafeatures)
+            # Resolve eagerly so unknown names fail at config time with
+            # the registry's listing (components must already be
+            # registered — the same contract as system plugins).
+            from repro.metafeatures.base import expand_functions
+
+            expand_functions(self.metafeatures)
         if self.window_size < 5:
             raise ValueError(f"window_size must be >= 5, got {self.window_size}")
         if not 0.0 <= self.buffer_ratio <= 2.0:

@@ -36,12 +36,10 @@ from repro.core.repository import ConceptState, Repository
 from repro.core.similarity import similarity
 from repro.core.weighting import make_weights
 from repro.detectors import Adwin
-from repro.metafeatures import FingerprintExtractor
+from repro.metafeatures import FingerprintPipeline
 from repro.system import AdaptiveSystem
 from repro.utils.stats import OnlineMinMax
-from repro.utils.windows import SlidingWindow
-
-_LabeledObs = Tuple[np.ndarray, int, int]
+from repro.utils.windows import ObservationWindow
 
 
 class Ficsum(AdaptiveSystem):
@@ -80,20 +78,21 @@ class Ficsum(AdaptiveSystem):
         self.n_features = n_features
         self.n_classes = n_classes
         cfg = self.config
-        self.extractor = FingerprintExtractor(
+        self.pipeline = FingerprintPipeline(
             n_features,
-            functions=cfg.functions,
+            metafeatures=cfg.metafeatures,
             source_set=cfg.source_set,
             shapley_max_eval=cfg.shapley_max_eval,
+            window_size=cfg.window_size if cfg.incremental else None,
         )
-        self.n_dims = self.extractor.n_dims
+        self.n_dims = self.pipeline.n_dims
         try:
-            self._error_dim = self.extractor.schema.index_of("errors", "mean")
+            self._error_dim = self.pipeline.schema.index_of("errors", "mean")
         except ValueError:
             self._error_dim = -1
         self.normalizer = OnlineMinMax(self.n_dims)
         self.repository = Repository(cfg.max_repository_size)
-        self.window: SlidingWindow[_LabeledObs] = SlidingWindow(cfg.window_size)
+        self.window = ObservationWindow(cfg.window_size, n_features)
         self.detector = self._new_detector()
         self._classifier_seed = cfg.seed
         self._step = 0
@@ -164,13 +163,20 @@ class Ficsum(AdaptiveSystem):
         """Current dynamic weight vector (schema order)."""
         return self._weights.copy()
 
+    @property
+    def extractor(self) -> FingerprintPipeline:
+        """Legacy name for the fingerprint pipeline."""
+        return self.pipeline
+
     # ------------------------------------------------------------------
     def process(self, x: np.ndarray, y: int) -> int:
         cfg = self.config
         x = np.asarray(x, dtype=np.float64)
         prediction = self._active.classifier.predict(x)
         self._active.classifier.learn(x, y)
-        self.window.append((x, int(y), int(prediction)))
+        self.window.append(x, int(y), int(prediction))
+        if cfg.incremental:
+            self.pipeline.push(x, int(y), int(prediction))
         self._step += 1
         self._active.last_active_step = self._step
 
@@ -181,7 +187,7 @@ class Ficsum(AdaptiveSystem):
             if marker != self._change_marker:
                 self._change_marker = marker
                 self._active.fingerprint.reset_dims(
-                    self.extractor.schema.classifier_dependent
+                    self.pipeline.schema.classifier_dependent
                 )
 
         if self._step % cfg.fingerprint_period == 0 and self.window.full:
@@ -207,12 +213,6 @@ class Ficsum(AdaptiveSystem):
     # ------------------------------------------------------------------
     # Step III-A: fingerprints, incorporation, drift detection
     # ------------------------------------------------------------------
-    def _window_arrays(self, items: List[_LabeledObs]):
-        xs = np.stack([item[0] for item in items])
-        ys = np.array([item[1] for item in items], dtype=np.int64)
-        ls = np.array([item[2] for item in items], dtype=np.int64)
-        return xs, ys, ls
-
     def _sim(self, raw_a: np.ndarray, raw_b: np.ndarray) -> float:
         scaled_a = self.normalizer.scale(raw_a)
         scaled_b = self.normalizer.scale(raw_b)
@@ -220,8 +220,13 @@ class Ficsum(AdaptiveSystem):
 
     def _fingerprint_step(self) -> None:
         cfg = self.config
-        xa, ya, la = self._window_arrays(self.window.items())
-        fp_active = self.extractor.extract(xa, ya, la, self._active.classifier)
+        xa, ya, la = self.window.arrays()
+        if cfg.incremental:
+            fp_active = self.pipeline.extract_incremental(
+                xa, ya, la, self._active.classifier
+            )
+        else:
+            fp_active = self.pipeline.extract(xa, ya, la, self._active.classifier)
         self.normalizer.update(fp_active)
         # Only windows drawn entirely after the last concept switch may
         # be incorporated into the concept fingerprint (the buffer's
@@ -350,11 +355,11 @@ class Ficsum(AdaptiveSystem):
         if not self.window.full:
             return None
         cfg = self.config
-        xa, ya, _ = self._window_arrays(self.window.items())
+        xa, ya, _ = self.window.arrays()
         best: Optional[Tuple[float, ConceptState]] = None
         for state in self._candidate_states():
             preds = state.classifier.predict_batch(xa)
-            fp = self.extractor.extract(xa, ya, preds, state.classifier)
+            fp = self.pipeline.extract(xa, ya, preds, state.classifier)
             self.normalizer.update(fp)
             sim = self._sim(state.fingerprint.means, fp)
             mu, sigma = self._gated_record(state)
@@ -401,9 +406,9 @@ class Ficsum(AdaptiveSystem):
         active = self._active
         if active.fingerprint.count < 2 or active.sim_stats.count < 2:
             return True
-        xa, ya, _ = self._window_arrays(self.window.items())
+        xa, ya, _ = self.window.arrays()
         preds = active.classifier.predict_batch(xa)
-        fp = self.extractor.extract(xa, ya, preds, active.classifier)
+        fp = self.pipeline.extract(xa, ya, preds, active.classifier)
         sim = self._sim(active.fingerprint.means, fp)
         mu, sigma = self._gated_record(active)
         if abs(sim - mu) > self.config.similarity_gate * sigma:
@@ -456,11 +461,11 @@ class Ficsum(AdaptiveSystem):
         ]
         if not others:
             return
-        xa, ya, _ = self._window_arrays(self.window.items())
+        xa, ya, _ = self.window.arrays()
         other_sims: List[float] = []
         for state in others:
             preds = state.classifier.predict_batch(xa)
-            fp = self.extractor.extract(xa, ya, preds, state.classifier)
+            fp = self.pipeline.extract(xa, ya, preds, state.classifier)
             self.normalizer.update(fp)
             state.nonactive.incorporate(fp)
             if self.config.track_discrimination and state.sim_stats.count >= 2:
@@ -474,7 +479,7 @@ class Ficsum(AdaptiveSystem):
             and self._active.sim_stats.count >= 2
         ):
             preds = self._active.classifier.predict_batch(xa)
-            fp = self.extractor.extract(xa, ya, preds, self._active.classifier)
+            fp = self.pipeline.extract(xa, ya, preds, self._active.classifier)
             sim = self._sim(self._active.fingerprint.means, fp)
             mu, sigma = self._gated_record(self._active)
             z_active = (sim - mu) / sigma

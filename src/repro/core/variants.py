@@ -30,8 +30,14 @@ def _base_config(config: Optional[FicsumConfig]) -> FicsumConfig:
 def make_ficsum(
     n_features: int, n_classes: int, config: Optional[FicsumConfig] = None
 ) -> Ficsum:
-    """The full framework: all sources, all 13 functions."""
-    cfg = replace(_base_config(config), source_set="all", functions=None)
+    """The full framework: all behaviour sources.
+
+    The meta-feature selection comes from ``config.metafeatures``
+    (default: the full built-in Table I set), so declarative subsets —
+    Table V rows, user-registered components — flow through the one
+    registered "ficsum" system.
+    """
+    cfg = replace(_base_config(config), source_set="all")
     return Ficsum(n_features, n_classes, cfg)
 
 
@@ -39,7 +45,7 @@ def make_error_rate_variant(
     n_features: int, n_classes: int, config: Optional[FicsumConfig] = None
 ) -> Ficsum:
     """ER: a single error-rate meta-information feature."""
-    cfg = replace(_base_config(config), source_set="error_rate", functions=None)
+    cfg = replace(_base_config(config), source_set="error_rate")
     return Ficsum(n_features, n_classes, cfg)
 
 
@@ -47,7 +53,7 @@ def make_supervised_variant(
     n_features: int, n_classes: int, config: Optional[FicsumConfig] = None
 ) -> Ficsum:
     """S-MI: label / prediction / error behaviour sources only."""
-    cfg = replace(_base_config(config), source_set="supervised", functions=None)
+    cfg = replace(_base_config(config), source_set="supervised")
     return Ficsum(n_features, n_classes, cfg)
 
 
@@ -55,7 +61,7 @@ def make_unsupervised_variant(
     n_features: int, n_classes: int, config: Optional[FicsumConfig] = None
 ) -> Ficsum:
     """U-MI: input-feature behaviour sources only."""
-    cfg = replace(_base_config(config), source_set="unsupervised", functions=None)
+    cfg = replace(_base_config(config), source_set="unsupervised")
     return Ficsum(n_features, n_classes, cfg)
 
 
@@ -65,6 +71,10 @@ def make_single_function_variant(
     n_classes: int,
     config: Optional[FicsumConfig] = None,
 ) -> Ficsum:
-    """One meta-information group (Table V row) over all sources."""
-    cfg = replace(_base_config(config), source_set="all", functions=(group,))
+    """One meta-information group (Table V row) over all sources.
+
+    Sugar over ``metafeatures=(group,)`` — any registered component or
+    group name is accepted.
+    """
+    cfg = replace(_base_config(config), source_set="all", metafeatures=(group,))
     return Ficsum(n_features, n_classes, cfg)

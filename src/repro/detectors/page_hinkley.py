@@ -8,8 +8,6 @@ above its historical minimum.
 
 from __future__ import annotations
 
-import math
-
 from repro.detectors.base import DriftDetector
 
 

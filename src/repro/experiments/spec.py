@@ -24,6 +24,7 @@ and load from JSON or TOML files (:meth:`from_file`)::
     seeds = [1, 2]
     segment_length = 200
     n_repeats = 2
+    metafeatures = ["mean", "autocorrelation"]  # optional subset
 
     [config]
     fingerprint_period = 10
@@ -135,6 +136,11 @@ class ExperimentSpec:
     config:
         FiCSUM tunables applied to every config-consuming system —
         either a :class:`FicsumConfig` or a dict of field overrides.
+    metafeatures:
+        Meta-information component (or group) selection applied to the
+        FiCSUM family — sugar for ``config={"metafeatures": [...]}``,
+        so Table V variants and user-registered components are one spec
+        entry.  May not conflict with a selection inside ``config``.
     """
 
     systems: Tuple[str, ...]
@@ -154,6 +160,7 @@ class ExperimentSpec:
         n_repeats: Optional[int] = None,
         oracle: bool = False,
         config: Union[None, FicsumConfig, Mapping[str, Any]] = None,
+        metafeatures: Optional[Sequence[str]] = None,
     ) -> None:
         if not systems:
             raise ValueError("ExperimentSpec needs at least one system")
@@ -161,13 +168,25 @@ class ExperimentSpec:
             raise ValueError("ExperimentSpec needs at least one dataset")
         if not seeds:
             raise ValueError("ExperimentSpec needs at least one seed")
+        overrides = _normalized_overrides(config)
+        if metafeatures is not None:
+            selection = list(metafeatures)
+            inside = overrides.get("metafeatures")
+            if inside is not None and list(inside) != selection:
+                raise ValueError(
+                    "metafeatures given both as a spec field and inside "
+                    f"config ({selection} vs {inside}); pass one"
+                )
+            overrides = _normalized_overrides(
+                {**overrides, "metafeatures": selection}
+            )
         object.__setattr__(self, "systems", tuple(systems))
         object.__setattr__(self, "datasets", tuple(datasets))
         object.__setattr__(self, "seeds", tuple(int(s) for s in seeds))
         object.__setattr__(self, "segment_length", segment_length)
         object.__setattr__(self, "n_repeats", n_repeats)
         object.__setattr__(self, "oracle", bool(oracle))
-        object.__setattr__(self, "config", _normalized_overrides(config))
+        object.__setattr__(self, "config", overrides)
 
     @property
     def n_cells(self) -> int:
@@ -221,7 +240,7 @@ class ExperimentSpec:
     def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
         known = {
             "systems", "datasets", "seeds", "segment_length", "n_repeats",
-            "oracle", "config",
+            "oracle", "config", "metafeatures",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -238,6 +257,7 @@ class ExperimentSpec:
             n_repeats=payload.get("n_repeats"),
             oracle=payload.get("oracle", False),
             config=payload.get("config"),
+            metafeatures=payload.get("metafeatures"),
         )
 
     @classmethod

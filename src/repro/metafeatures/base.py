@@ -1,64 +1,78 @@
-"""Meta-information function registry.
+"""Meta-information function resolution over the component registry.
 
-The 13 functions of Table I, addressable individually or through the
-10 *groups* the paper's Table V evaluates (autocorrelation, partial
-autocorrelation and IMF entropy each contribute two lags/modes).
+The 13 built-in functions of Table I register as
+:class:`~repro.metafeatures.components.MetaFeature` components in
+:data:`repro.registry.METAFEATURES` (importing this module triggers the
+registration).  ``FUNCTION_NAMES`` / ``FUNCTION_GROUPS`` are snapshots
+of the built-in set — the constants the paper tables are defined over —
+while :func:`expand_functions` and :func:`compute_scalar_function`
+resolve against the *live* registry, so user-registered components are
+immediately selectable by name or group.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.metafeatures import autocorr, moments, mutual_info, turning_points
-from repro.metafeatures.emd import imf_entropies
+from repro.metafeatures.components import BUILTIN_FUNCTIONS
+from repro.registry import METAFEATURES
 
-FUNCTION_NAMES: Tuple[str, ...] = (
-    "mean",
-    "std",
-    "skew",
-    "kurtosis",
-    "acf1",
-    "acf2",
-    "pacf1",
-    "pacf2",
-    "mi",
-    "turning_rate",
-    "imf1_entropy",
-    "imf2_entropy",
-    "shapley",
-)
+FUNCTION_NAMES: Tuple[str, ...] = BUILTIN_FUNCTIONS
 
 N_FUNCTIONS = len(FUNCTION_NAMES)
 
-#: Table V rows -> the individual functions they bundle.
-FUNCTION_GROUPS: Dict[str, Tuple[str, ...]] = {
-    "mean": ("mean",),
-    "std": ("std",),
-    "skew": ("skew",),
-    "kurtosis": ("kurtosis",),
-    "autocorrelation": ("acf1", "acf2"),
-    "partial_autocorrelation": ("pacf1", "pacf2"),
-    "mutual_information": ("mi",),
-    "turning_point_rate": ("turning_rate",),
-    "imf_entropy": ("imf1_entropy", "imf2_entropy"),
-    "shapley": ("shapley",),
-}
+
+def function_groups() -> Dict[str, Tuple[str, ...]]:
+    """Live group map: Table V rows -> the functions they bundle.
+
+    Built from each registered component's declared ``group``
+    (autocorrelation, partial autocorrelation and IMF entropy each
+    bundle two lags/modes); groups of user-registered components appear
+    automatically.
+    """
+    groups: Dict[str, Tuple[str, ...]] = {}
+    for name in METAFEATURES.ordered_names():
+        component = METAFEATURES[name]
+        group = component.group or component.name
+        groups[group] = groups.get(group, ()) + (name,)
+    return groups
 
 
-def expand_functions(names: Sequence[str]) -> Tuple[str, ...]:
-    """Resolve a mix of function and group names to function names."""
+def _builtin_groups() -> Dict[str, Tuple[str, ...]]:
+    live = function_groups()
+    return {
+        group: members
+        for group, members in live.items()
+        if all(m in BUILTIN_FUNCTIONS for m in members)
+    }
+
+
+#: Table V rows -> the individual built-in functions they bundle.
+FUNCTION_GROUPS: Dict[str, Tuple[str, ...]] = _builtin_groups()
+
+
+def expand_functions(names: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    """Resolve a mix of component and group names to component names.
+
+    ``None`` selects the full built-in Table I set.  Unknown names
+    raise ``ValueError`` listing what is registered.
+    """
+    if names is None:
+        return FUNCTION_NAMES
+    groups = function_groups()
     out = []
     for name in names:
-        if name in FUNCTION_GROUPS:
-            out.extend(FUNCTION_GROUPS[name])
-        elif name in FUNCTION_NAMES:
+        if name in groups:
+            out.extend(groups[name])
+        elif name in METAFEATURES:
             out.append(name)
         else:
             raise ValueError(
                 f"unknown meta-information function {name!r}; "
-                f"known functions: {FUNCTION_NAMES}, groups: {tuple(FUNCTION_GROUPS)}"
+                f"known functions: {tuple(METAFEATURES.ordered_names())}, "
+                f"groups: {tuple(groups)}"
             )
     seen = set()
     unique = [n for n in out if not (n in seen or seen.add(n))]
@@ -68,35 +82,25 @@ def expand_functions(names: Sequence[str]) -> Tuple[str, ...]:
 def compute_scalar_function(name: str, x: np.ndarray) -> float:
     """Evaluate one meta-information function on an arbitrary sequence.
 
-    Used for the variable-length distance-between-errors source.  The
-    Shapley function needs a classifier and a feature matrix, so it is
-    undefined for plain sequences and contributes 0 here.
+    Used for the variable-length distance-between-errors source.
+    Components that need a classifier and a feature matrix (e.g.
+    Shapley) are undefined for plain sequences and contribute 0 here.
     """
-    x = np.asarray(x, dtype=np.float64)
-    if name == "mean":
-        return moments.seq_mean(x)
-    if name == "std":
-        return moments.seq_std(x)
-    if name == "skew":
-        return moments.seq_skew(x)
-    if name == "kurtosis":
-        return moments.seq_kurtosis(x)
-    if name == "acf1":
-        return autocorr.seq_acf(x, 1)
-    if name == "acf2":
-        return autocorr.seq_acf(x, 2)
-    if name == "pacf1":
-        return autocorr.seq_pacf(x, 1)
-    if name == "pacf2":
-        return autocorr.seq_pacf(x, 2)
-    if name == "mi":
-        return mutual_info.lagged_mutual_information(x)
-    if name == "turning_rate":
-        return turning_points.seq_turning_rate(x)
-    if name == "imf1_entropy":
-        return float(imf_entropies(x, 2)[0])
-    if name == "imf2_entropy":
-        return float(imf_entropies(x, 2)[1])
-    if name == "shapley":
-        return 0.0
-    raise ValueError(f"unknown meta-information function {name!r}")
+    try:
+        component = METAFEATURES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown meta-information function {name!r}; "
+            f"known: {tuple(METAFEATURES.ordered_names())}"
+        ) from None
+    return float(component.batch_scalar(np.asarray(x, dtype=np.float64)))
+
+
+__all__ = [
+    "FUNCTION_NAMES",
+    "FUNCTION_GROUPS",
+    "N_FUNCTIONS",
+    "function_groups",
+    "expand_functions",
+    "compute_scalar_function",
+]

@@ -21,7 +21,6 @@ complexity analysis likewise treats fingerprinting as O(w log w).
 
 from __future__ import annotations
 
-import math
 from typing import List
 
 import numpy as np

@@ -1,288 +1,22 @@
-"""Fingerprint extraction: window of observations -> fingerprint vector.
+"""Backwards-compatible location of the fingerprint extractor.
 
-Implements Figure 2 of the paper.  A window of ``w`` labelled
-observations is decomposed into behaviour sources:
-
-* the ``d`` input-feature sequences            (describe ``p(X)``),
-* the ground-truth label sequence ``y``        (describes ``p(y|X)``),
-* the predicted label sequence ``l``           (learned ``p(y|X)``),
-* the 0/1 error sequence ``l_i != y_i``,
-* the distances between consecutive errors     (temporal ``p(y|X)``),
-
-and each source is distilled by ``K`` meta-information functions into a
-``K x n_sources`` fingerprint vector.  The :class:`FingerprintSchema`
-records which (source, function) pair owns each vector index, plus the
-masks the framework needs: which dimensions depend on the classifier
-(reset by the plasticity mechanism of Section IV) and which sources are
-supervised (the S-MI / U-MI / ER restricted variants of Section VI).
+The closed, monolithic ``FingerprintExtractor`` became the open
+:class:`repro.metafeatures.pipeline.FingerprintPipeline`, assembled
+from registered :class:`~repro.metafeatures.components.MetaFeature`
+components.  This module re-exports the pipeline under its historical
+names for existing imports.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
-
-import numpy as np
-
-from repro.classifiers.base import Classifier
-from repro.metafeatures import autocorr, moments, turning_points
-from repro.metafeatures.base import (
-    FUNCTION_NAMES,
-    compute_scalar_function,
-    expand_functions,
+from repro.metafeatures.pipeline import (
+    SOURCE_SETS,
+    FingerprintExtractor,
+    FingerprintPipeline,
+    FingerprintSchema,
 )
-from repro.metafeatures.emd import imf_entropies
-from repro.metafeatures.mutual_info import lagged_mutual_information
-from repro.metafeatures.shapley import window_permutation_importance
 
-SOURCE_SETS = ("all", "supervised", "unsupervised", "error_rate")
-
-_SUPERVISED_SOURCES = ("labels", "preds", "errors", "error_dists")
-_CLASSIFIER_SOURCES = ("preds", "errors", "error_dists")
-
-
-@dataclass(frozen=True)
-class FingerprintSchema:
-    """Index map of a fingerprint vector.
-
-    ``dims[i] = (source_name, function_name)`` for vector position
-    ``i``; dimensions are laid out source-major, matching Figure 2.
-    """
-
-    source_names: Tuple[str, ...]
-    function_names: Tuple[str, ...]
-    dims: Tuple[Tuple[str, str], ...] = field(init=False)
-
-    def __post_init__(self) -> None:
-        dims = tuple(
-            (source, function)
-            for source in self.source_names
-            for function in self.function_names
-        )
-        object.__setattr__(self, "dims", dims)
-
-    @property
-    def n_dims(self) -> int:
-        return len(self.dims)
-
-    @property
-    def classifier_dependent(self) -> np.ndarray:
-        """Mask of dimensions that change when the classifier changes.
-
-        Covers all dimensions of classifier-derived sources (predicted
-        labels, errors, error distances) plus every Shapley dimension
-        (feature importance is a property of the classifier).
-        """
-        return np.array(
-            [
-                source in _CLASSIFIER_SOURCES or function == "shapley"
-                for source, function in self.dims
-            ]
-        )
-
-    @property
-    def supervised_dims(self) -> np.ndarray:
-        """Mask of dimensions computed from label-dependent sources."""
-        return np.array(
-            [source in _SUPERVISED_SOURCES for source, _ in self.dims]
-        )
-
-    def index_of(self, source: str, function: str) -> int:
-        """Vector position of a (source, function) pair."""
-        return self.dims.index((source, function))
-
-
-class FingerprintExtractor:
-    """Computes fingerprint vectors from observation windows.
-
-    Parameters
-    ----------
-    n_features:
-        Input dimensionality ``d`` of the stream.
-    functions:
-        Meta-information function (or group) names; defaults to the full
-        13-function set of Table I.
-    source_set:
-        ``"all"`` (FiCSUM), ``"supervised"`` (S-MI: labels, predictions,
-        errors, error distances), ``"unsupervised"`` (U-MI: features
-        only) or ``"error_rate"`` (ER: the single error-rate value).
-    shapley_max_eval:
-        Window rows sampled by the permutation-importance estimator.
-    """
-
-    def __init__(
-        self,
-        n_features: int,
-        functions: Optional[Sequence[str]] = None,
-        source_set: str = "all",
-        shapley_max_eval: int = 12,
-    ) -> None:
-        if n_features <= 0:
-            raise ValueError(f"n_features must be positive, got {n_features}")
-        if source_set not in SOURCE_SETS:
-            raise ValueError(
-                f"source_set must be one of {SOURCE_SETS}, got {source_set!r}"
-            )
-        self.n_features = n_features
-        self.source_set = source_set
-        self.shapley_max_eval = shapley_max_eval
-        if source_set == "error_rate":
-            function_names: Tuple[str, ...] = ("mean",)
-        elif functions is None:
-            function_names = FUNCTION_NAMES
-        else:
-            function_names = expand_functions(functions)
-        feature_sources = tuple(f"f{j}" for j in range(n_features))
-        if source_set == "all":
-            sources = feature_sources + _SUPERVISED_SOURCES
-        elif source_set == "supervised":
-            sources = _SUPERVISED_SOURCES
-        elif source_set == "unsupervised":
-            sources = feature_sources
-        else:  # error_rate
-            sources = ("errors",)
-        self.schema = FingerprintSchema(sources, function_names)
-        self._wants_features = source_set in ("all", "unsupervised")
-        self._wants_supervised = source_set in ("all", "supervised", "error_rate")
-        self._rng = np.random.default_rng(1234)
-
-    @property
-    def n_dims(self) -> int:
-        return self.schema.n_dims
-
-    # ------------------------------------------------------------------
-    def extract(
-        self,
-        window_x: np.ndarray,
-        labels: np.ndarray,
-        preds: np.ndarray,
-        classifier: Optional[Classifier] = None,
-    ) -> np.ndarray:
-        """Fingerprint one window.
-
-        ``window_x`` is ``(w, d)``; ``labels`` and ``preds`` are length
-        ``w``.  ``classifier`` is needed only for Shapley dimensions (it
-        may be omitted when the function set excludes ``shapley``).
-        """
-        window_x = np.asarray(window_x, dtype=np.float64)
-        labels = np.asarray(labels, dtype=np.float64)
-        preds = np.asarray(preds, dtype=np.float64)
-        w = len(labels)
-        if window_x.shape != (w, self.n_features):
-            raise ValueError(
-                f"window_x shape {window_x.shape} does not match "
-                f"({w}, {self.n_features})"
-            )
-        errors = (labels != preds).astype(np.float64)
-
-        # Full-length sources stacked into a matrix for vectorised stats.
-        rows: List[np.ndarray] = []
-        row_names: List[str] = []
-        if self._wants_features:
-            rows.extend(window_x.T)
-            row_names.extend(f"f{j}" for j in range(self.n_features))
-        if self._wants_supervised:
-            if self.source_set != "error_rate":
-                rows.append(labels)
-                row_names.append("labels")
-                rows.append(preds)
-                row_names.append("preds")
-            rows.append(errors)
-            row_names.append("errors")
-        matrix = np.stack(rows)
-
-        table = self._compute_matrix_functions(matrix)
-
-        # Variable-length distance-between-errors source.
-        has_error_dists = "error_dists" in self.schema.source_names
-        if has_error_dists:
-            error_idx = np.flatnonzero(errors)
-            if error_idx.size >= 2:
-                dists = np.diff(error_idx).astype(np.float64)
-            else:
-                # No measurable gap: encode "errors rarer than the
-                # window" as a single window-length gap.
-                dists = np.array([float(w)])
-            dist_values = {
-                fn: compute_scalar_function(fn, dists)
-                for fn in self.schema.function_names
-            }
-
-        shapley = self._compute_shapley(window_x, classifier)
-
-        fingerprint = np.empty(self.schema.n_dims)
-        pos = 0
-        row_index = {name: i for i, name in enumerate(row_names)}
-        for source in self.schema.source_names:
-            for fn_idx, fn in enumerate(self.schema.function_names):
-                if fn == "shapley":
-                    value = shapley.get(source, 0.0)
-                elif source == "error_dists":
-                    value = dist_values[fn]
-                else:
-                    value = table[fn_idx, row_index[source]]
-                fingerprint[pos] = value
-                pos += 1
-        return fingerprint
-
-    # ------------------------------------------------------------------
-    def _compute_matrix_functions(self, matrix: np.ndarray) -> np.ndarray:
-        """(n_functions, n_rows) table of vectorised statistics."""
-        fns = self.schema.function_names
-        n_rows = matrix.shape[0]
-        table = np.zeros((len(fns), n_rows))
-        acf1 = acf2 = None
-        need = set(fns)
-        if {"acf1", "pacf1", "pacf2"} & need:
-            acf1 = autocorr.row_acf(matrix, 1)
-        if {"acf2", "pacf2"} & need:
-            acf2 = autocorr.row_acf(matrix, 2)
-        imf_cache = None
-        for i, fn in enumerate(fns):
-            if fn == "mean":
-                table[i] = moments.row_means(matrix)
-            elif fn == "std":
-                table[i] = moments.row_stds(matrix)
-            elif fn == "skew":
-                table[i] = moments.row_skews(matrix)
-            elif fn == "kurtosis":
-                table[i] = moments.row_kurtoses(matrix)
-            elif fn == "acf1" or fn == "pacf1":
-                table[i] = acf1
-            elif fn == "acf2":
-                table[i] = acf2
-            elif fn == "pacf2":
-                table[i] = autocorr.row_pacf2(acf1, acf2)
-            elif fn == "mi":
-                table[i] = [
-                    lagged_mutual_information(matrix[r]) for r in range(n_rows)
-                ]
-            elif fn == "turning_rate":
-                table[i] = turning_points.row_turning_rates(matrix)
-            elif fn in ("imf1_entropy", "imf2_entropy"):
-                if imf_cache is None:
-                    imf_cache = np.stack(
-                        [imf_entropies(matrix[r], 2) for r in range(n_rows)]
-                    )
-                table[i] = imf_cache[:, 0 if fn == "imf1_entropy" else 1]
-            elif fn == "shapley":
-                pass  # handled separately (needs the classifier)
-            else:  # pragma: no cover - schema construction validates names
-                raise ValueError(f"unknown function {fn!r}")
-        return table
-
-    def _compute_shapley(
-        self, window_x: np.ndarray, classifier: Optional[Classifier]
-    ) -> dict:
-        """Shapley values keyed by feature-source name (empty if unused)."""
-        if "shapley" not in self.schema.function_names or not self._wants_features:
-            return {}
-        if classifier is None:
-            return {}
-        importances = window_permutation_importance(
-            classifier,
-            window_x,
-            max_eval=self.shapley_max_eval,
-            rng=self._rng,
-        )
-        return {f"f{j}": float(importances[j]) for j in range(self.n_features)}
+__all__ = [
+    "SOURCE_SETS",
+    "FingerprintExtractor",
+    "FingerprintPipeline",
+    "FingerprintSchema",
+]

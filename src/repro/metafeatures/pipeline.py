@@ -1,0 +1,495 @@
+"""Fingerprint pipeline: registered components over behaviour sources.
+
+Implements Figure 2 of the paper as an *open* composition.  A window of
+``w`` labelled observations decomposes into behaviour sources:
+
+* the ``d`` input-feature sequences            (describe ``p(X)``),
+* the ground-truth label sequence ``y``        (describes ``p(y|X)``),
+* the predicted label sequence ``l``           (learned ``p(y|X)``),
+* the 0/1 error sequence ``l_i != y_i``,
+* the distances between consecutive errors     (temporal ``p(y|X)``),
+
+and each source is distilled by ``K`` :class:`MetaFeature` components
+(resolved from :data:`repro.registry.METAFEATURES`) into a
+``K x n_sources`` fingerprint vector.  The :class:`FingerprintSchema`
+records which (source, component) pair owns each vector index and
+*derives* the masks the framework needs — classifier-dependent
+dimensions (reset by the plasticity mechanism of Section IV) and
+supervised sources (the S-MI / U-MI / ER restricted variants of
+Section VI) — from the declared source and component metadata instead
+of hard-coded name lists.
+
+Two extraction paths share one schema:
+
+* :meth:`FingerprintPipeline.extract` — the batch reference: every
+  component recomputed from the full window (also used for candidate
+  classifiers during model selection, whose predictions differ from the
+  stored window).
+* :meth:`FingerprintPipeline.push` +
+  :meth:`FingerprintPipeline.extract_incremental` — the hot path:
+  components that admit rolling algebra read their values from O(1)
+  accumulators; only the expensive components (IMF entropies, lagged
+  MI, permutation importance) fall back to batch recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.classifiers.base import Classifier
+from repro.metafeatures.base import expand_functions
+from repro.metafeatures.components import MetaFeature, WindowContext
+from repro.metafeatures.rolling import ErrorDistanceTracker, RollingWindowStats
+from repro.registry import METAFEATURES
+
+SOURCE_SETS = ("all", "supervised", "unsupervised", "error_rate")
+
+
+@dataclass(frozen=True)
+class SourceInfo:
+    """Declared metadata of one behaviour source."""
+
+    name: str
+    supervised: bool
+    classifier_dependent: bool
+
+
+#: The label-derived behaviour sources, in canonical schema order.
+#: Everything the framework knows about them — which restricted
+#: variants include them, which fingerprint dimensions the plasticity
+#: mechanism resets — derives from these declarations.
+BEHAVIOUR_SOURCES: Tuple[SourceInfo, ...] = (
+    SourceInfo("labels", supervised=True, classifier_dependent=False),
+    SourceInfo("preds", supervised=True, classifier_dependent=True),
+    SourceInfo("errors", supervised=True, classifier_dependent=True),
+    SourceInfo("error_dists", supervised=True, classifier_dependent=True),
+)
+
+_SOURCE_INFO: Dict[str, SourceInfo] = {s.name: s for s in BEHAVIOUR_SOURCES}
+
+
+def source_info(name: str) -> SourceInfo:
+    """Metadata for a source name (feature sources are ``f<j>``)."""
+    info = _SOURCE_INFO.get(name)
+    if info is not None:
+        return info
+    return SourceInfo(name, supervised=False, classifier_dependent=False)
+
+
+def _component_flags(function: str) -> Tuple[bool, bool]:
+    """(classifier_dependent, feature_sources_only) for a function name.
+
+    Lenient on unknown names so schemas remain constructible in
+    isolation (e.g. from persisted artifacts after a plugin was
+    unregistered).
+    """
+    component = METAFEATURES.get(function, None)
+    if component is None:
+        return False, False
+    return component.classifier_dependent, component.feature_sources_only
+
+
+@dataclass(frozen=True)
+class FingerprintSchema:
+    """Index map of a fingerprint vector.
+
+    ``dims[i] = (source_name, function_name)`` for vector position
+    ``i``; dimensions are laid out source-major, matching Figure 2.
+    """
+
+    source_names: Tuple[str, ...]
+    function_names: Tuple[str, ...]
+    dims: Tuple[Tuple[str, str], ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        dims = tuple(
+            (source, function)
+            for source in self.source_names
+            for function in self.function_names
+        )
+        object.__setattr__(self, "dims", dims)
+
+    @property
+    def n_dims(self) -> int:
+        return len(self.dims)
+
+    @property
+    def classifier_dependent(self) -> np.ndarray:
+        """Mask of dimensions that change when the classifier changes.
+
+        Derived from the declared metadata: all dimensions of
+        classifier-derived sources, plus every dimension of components
+        that declare ``classifier_dependent`` (e.g. Shapley — feature
+        importance is a property of the classifier).
+        """
+        return np.array(
+            [
+                source_info(source).classifier_dependent
+                or _component_flags(function)[0]
+                for source, function in self.dims
+            ]
+        )
+
+    @property
+    def supervised_dims(self) -> np.ndarray:
+        """Mask of dimensions computed from label-dependent sources."""
+        return np.array(
+            [source_info(source).supervised for source, _ in self.dims]
+        )
+
+    def index_of(self, source: str, function: str) -> int:
+        """Vector position of a (source, function) pair."""
+        return self.dims.index((source, function))
+
+
+class FingerprintPipeline:
+    """Assembles fingerprint vectors from registered components.
+
+    Parameters
+    ----------
+    n_features:
+        Input dimensionality ``d`` of the stream.
+    metafeatures:
+        Component (or Table V group) names resolved against
+        :data:`repro.registry.METAFEATURES`; defaults to the full
+        13-function set of Table I.  ``functions`` is accepted as a
+        legacy alias.
+    source_set:
+        ``"all"`` (FiCSUM), ``"supervised"`` (S-MI: labels, predictions,
+        errors, error distances), ``"unsupervised"`` (U-MI: features
+        only) or ``"error_rate"`` (ER: the single error-rate value).
+    shapley_max_eval:
+        Window rows sampled by the permutation-importance estimator.
+    window_size:
+        Sliding-window length for the incremental path; ``None``
+        disables the accumulators (batch extraction stays available).
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        metafeatures: Optional[Sequence[str]] = None,
+        source_set: str = "all",
+        shapley_max_eval: int = 12,
+        window_size: Optional[int] = None,
+        functions: Optional[Sequence[str]] = None,
+    ) -> None:
+        if n_features <= 0:
+            raise ValueError(f"n_features must be positive, got {n_features}")
+        if source_set not in SOURCE_SETS:
+            raise ValueError(
+                f"source_set must be one of {SOURCE_SETS}, got {source_set!r}"
+            )
+        if functions is not None:
+            if metafeatures is not None and tuple(metafeatures) != tuple(
+                functions
+            ):
+                raise ValueError(
+                    "functions is a legacy alias of metafeatures; "
+                    "pass only one of them"
+                )
+            metafeatures = functions
+        self.n_features = n_features
+        self.source_set = source_set
+        self.shapley_max_eval = shapley_max_eval
+        if source_set == "error_rate":
+            function_names: Tuple[str, ...] = ("mean",)
+        elif metafeatures is None:
+            function_names = expand_functions(None)
+        else:
+            function_names = expand_functions(metafeatures)
+        self.components: Tuple[MetaFeature, ...] = tuple(
+            METAFEATURES[name] for name in function_names
+        )
+        feature_sources = tuple(f"f{j}" for j in range(n_features))
+        supervised_sources = tuple(s.name for s in BEHAVIOUR_SOURCES)
+        if source_set == "all":
+            sources = feature_sources + supervised_sources
+        elif source_set == "supervised":
+            sources = supervised_sources
+        elif source_set == "unsupervised":
+            sources = feature_sources
+        else:  # error_rate
+            sources = ("errors",)
+        self.schema = FingerprintSchema(sources, function_names)
+        self._wants_features = source_set in ("all", "unsupervised")
+        self._wants_supervised = source_set in ("all", "supervised", "error_rate")
+        self._rng = np.random.default_rng(1234)
+
+        # Vector-assembly layout: matrix rows are the schema sources
+        # minus the variable-length error-distance source, in order.
+        self._matrix_sources = tuple(
+            s for s in sources if s != "error_dists"
+        )
+        self._has_error_dists = "error_dists" in sources
+        # The assembly relies on the error-distance source being the
+        # final schema source (a contiguous matrix-source prefix).
+        assert not self._has_error_dists or sources.index(
+            "error_dists"
+        ) == len(self._matrix_sources)
+        # Per-path dispatch, precomputed once: which components read the
+        # classifier, which are served by accumulators on the rolling
+        # path, and whether the window matrix must be materialised.
+        self._classifier_components = tuple(
+            c.feature_sources_only and c.needs_classifier
+            for c in self.components
+        )
+        self._needs_matrix_batch = not all(self._classifier_components)
+        self._needs_matrix_rolling = any(
+            not c.incremental and not skip
+            for c, skip in zip(self.components, self._classifier_components)
+        )
+        # Incremental machinery (created lazily by attach_window or
+        # eagerly when window_size is given).
+        self._rolling: Optional[RollingWindowStats] = None
+        self._error_tracker: Optional[ErrorDistanceTracker] = None
+        self._window_size: Optional[int] = None
+        if window_size is not None:
+            self.attach_window(window_size)
+
+    # -- legacy-compatible aliases --------------------------------------
+    @property
+    def n_dims(self) -> int:
+        return self.schema.n_dims
+
+    @property
+    def function_names(self) -> Tuple[str, ...]:
+        return self.schema.function_names
+
+    @property
+    def incremental_functions(self) -> Tuple[str, ...]:
+        """The selected components served by rolling accumulators."""
+        return tuple(c.name for c in self.components if c.incremental)
+
+    # ------------------------------------------------------------------
+    # Incremental path
+    # ------------------------------------------------------------------
+    def attach_window(self, window_size: int) -> None:
+        """Size the rolling accumulators for a ``window_size`` stream."""
+        self._window_size = window_size
+        self._rolling = RollingWindowStats(
+            len(self._matrix_sources), window_size
+        )
+        self._error_tracker = (
+            ErrorDistanceTracker(window_size) if self._has_error_dists else None
+        )
+
+    def reset_stream(self) -> None:
+        """Forget accumulated observations (stream restart)."""
+        if self._rolling is not None:
+            self._rolling.reset()
+        if self._error_tracker is not None:
+            self._error_tracker.reset()
+
+    def push(self, x: np.ndarray, y: int, prediction: int) -> None:
+        """Slide the accumulators forward by one labelled observation."""
+        if self._rolling is None:
+            raise RuntimeError(
+                "incremental path not initialised; call attach_window() "
+                "or construct the pipeline with window_size="
+            )
+        error = float(y != prediction)
+        if self.source_set == "all":
+            row = np.empty(self.n_features + 3)
+            row[: self.n_features] = x
+            row[self.n_features] = y
+            row[self.n_features + 1] = prediction
+            row[self.n_features + 2] = error
+        elif self.source_set == "supervised":
+            row = np.array([float(y), float(prediction), error])
+        elif self.source_set == "unsupervised":
+            row = np.asarray(x, dtype=np.float64)
+        else:  # error_rate
+            row = np.array([error])
+        self._rolling.push(row)
+        if self._error_tracker is not None:
+            self._error_tracker.push(bool(error))
+
+    @property
+    def n_observed(self) -> int:
+        """Observations currently held by the rolling accumulators."""
+        return 0 if self._rolling is None else self._rolling.count
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    def extract(
+        self,
+        window_x: np.ndarray,
+        labels: np.ndarray,
+        preds: np.ndarray,
+        classifier: Optional[Classifier] = None,
+    ) -> np.ndarray:
+        """Fingerprint one window (batch reference path).
+
+        ``window_x`` is ``(w, d)``; ``labels`` and ``preds`` are length
+        ``w``.  ``classifier`` is needed only by components that declare
+        ``needs_classifier`` (it may be omitted otherwise).
+        """
+        return self._extract(window_x, labels, preds, classifier, rolling=False)
+
+    def extract_incremental(
+        self,
+        window_x: np.ndarray,
+        labels: np.ndarray,
+        preds: np.ndarray,
+        classifier: Optional[Classifier] = None,
+    ) -> np.ndarray:
+        """Fingerprint the window currently held by the accumulators.
+
+        The window arrays must match the pushed observations — they are
+        still needed by the non-incremental components (and by shape
+        validation).  Requires a full window of pushes.
+        """
+        if self._rolling is None or not self._rolling.full:
+            raise RuntimeError(
+                "incremental extraction needs a full window of push() "
+                f"calls (have {self.n_observed}, "
+                f"need {self._window_size})"
+            )
+        if len(labels) != self._window_size:
+            raise ValueError(
+                f"window of {len(labels)} observations does not match the "
+                f"attached accumulator window ({self._window_size})"
+            )
+        return self._extract(window_x, labels, preds, classifier, rolling=True)
+
+    def _extract(
+        self,
+        window_x: np.ndarray,
+        labels: np.ndarray,
+        preds: np.ndarray,
+        classifier: Optional[Classifier],
+        rolling: bool,
+    ) -> np.ndarray:
+        window_x = np.asarray(window_x, dtype=np.float64)
+        w = len(labels)
+        if window_x.shape != (w, self.n_features):
+            raise ValueError(
+                f"window_x shape {window_x.shape} does not match "
+                f"({w}, {self.n_features})"
+            )
+        needs_matrix = (
+            self._needs_matrix_rolling if rolling else self._needs_matrix_batch
+        )
+        # The window matrix (and the float casts feeding it) is only
+        # materialised when some selected component recomputes from it.
+        ctx: Optional[WindowContext] = None
+        errors: Optional[np.ndarray] = None
+        if needs_matrix or not (rolling and self._error_tracker is not None):
+            labels = np.asarray(labels, dtype=np.float64)
+            preds = np.asarray(preds, dtype=np.float64)
+            errors = (labels != preds).astype(np.float64)
+        if needs_matrix:
+            ctx = WindowContext(self._build_matrix(window_x, labels, preds, errors))
+
+        dists: Optional[np.ndarray] = None
+        gap_stats = None
+        if self._has_error_dists:
+            if rolling and self._error_tracker is not None:
+                if self._error_tracker.n_gaps >= 1:
+                    gap_stats = self._error_tracker.stats
+                else:
+                    dists = self._error_tracker.gaps()
+            else:
+                error_idx = np.flatnonzero(errors)
+                if error_idx.size >= 2:
+                    dists = np.diff(error_idx).astype(np.float64)
+                else:
+                    # No measurable gap: encode "errors rarer than the
+                    # window" as a single window-length gap.
+                    dists = np.array([float(w)])
+
+        # Assembly: the error-distance source is always the last schema
+        # source, so the matrix-source block is a contiguous prefix and
+        # the fingerprint builds from two slice assignments.
+        n_sources = len(self.schema.source_names)
+        n_functions = len(self.components)
+        n_matrix = len(self._matrix_sources)
+        columns = np.empty((n_functions, n_matrix))
+        ed_values = np.empty(n_functions) if self._has_error_dists else None
+        stats = self._rolling
+        for j, component in enumerate(self.components):
+            if self._classifier_components[j]:
+                columns[j] = self._classifier_column(
+                    component, window_x, classifier
+                )
+            elif rolling and component.incremental:
+                columns[j] = component.rolling_rows(stats)
+            else:
+                columns[j] = component.batch_rows(ctx)
+            if ed_values is not None:
+                if gap_stats is not None and component.incremental:
+                    ed_values[j] = component.rolling_scalar(gap_stats)
+                else:
+                    ed_values[j] = component.batch_scalar(
+                        dists if dists is not None else gap_stats.values()
+                    )
+        fingerprint = np.empty((n_sources, n_functions))
+        fingerprint[:n_matrix] = columns.T
+        if ed_values is not None:
+            fingerprint[n_matrix] = ed_values
+        return fingerprint.reshape(-1)
+
+    def _build_matrix(
+        self,
+        window_x: np.ndarray,
+        labels: np.ndarray,
+        preds: np.ndarray,
+        errors: np.ndarray,
+    ) -> np.ndarray:
+        """(n_rows, w) source matrix, one C-contiguous allocation.
+
+        C order matters beyond speed: numpy's axis-1 reductions use a
+        different summation order on F-ordered arrays, which would
+        perturb fingerprints at the last ulp relative to the reference.
+        """
+        d = self.n_features
+        w = len(labels)
+        if self.source_set == "all":
+            matrix = np.empty((d + 3, w))
+            matrix[:d] = window_x.T
+            matrix[d] = labels
+            matrix[d + 1] = preds
+            matrix[d + 2] = errors
+            return matrix
+        if self.source_set == "supervised":
+            return np.stack([labels, preds, errors])
+        if self.source_set == "unsupervised":
+            return np.ascontiguousarray(window_x.T)
+        return errors[None]  # error_rate
+
+    def _classifier_column(
+        self,
+        component: MetaFeature,
+        window_x: np.ndarray,
+        classifier: Optional[Classifier],
+    ) -> np.ndarray:
+        """Feature-source values of a classifier-backed component."""
+        values = np.zeros(len(self._matrix_sources))
+        if classifier is None or not self._wants_features:
+            return values
+        importances = component.classifier_values(
+            window_x, classifier, self._rng, self.shapley_max_eval
+        )
+        values[: self.n_features] = np.asarray(importances)[: self.n_features]
+        return values
+
+
+#: Backwards-compatible name: the pipeline supersedes the closed
+#: extractor but keeps its constructor and ``extract`` contract.
+FingerprintExtractor = FingerprintPipeline
+
+
+__all__ = [
+    "SOURCE_SETS",
+    "SourceInfo",
+    "BEHAVIOUR_SOURCES",
+    "source_info",
+    "FingerprintSchema",
+    "FingerprintPipeline",
+    "FingerprintExtractor",
+]

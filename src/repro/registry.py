@@ -1,8 +1,9 @@
-"""Decorator-based plugin registries for systems and datasets.
+"""Decorator-based plugin registries for systems, datasets and
+meta-information functions.
 
-Everything runnable by the experiment engine — the FiCSUM variants,
-the Table VI baselines, the Table II datasets and any user-defined
-extension — registers through one mechanism::
+Everything composable — the FiCSUM variants, the Table VI baselines,
+the Table II datasets, the Table I meta-information functions and any
+user-defined extension — registers through one mechanism::
 
     from repro.registry import register_system, register_dataset
 
@@ -29,7 +30,7 @@ the spec's consumer imports) to survive process-pool execution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Mapping, TypeVar
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, TypeVar
 
 T = TypeVar("T")
 
@@ -79,6 +80,10 @@ class Registry(Mapping[str, T]):
 
     def names(self) -> List[str]:
         return sorted(self._entries)
+
+    def ordered_names(self) -> List[str]:
+        """Names in registration order (schema layouts depend on it)."""
+        return list(self._entries)
 
     def __getitem__(self, name: str) -> T:
         return self.get(name)
@@ -136,6 +141,11 @@ SYSTEMS: "Registry[SystemEntry]" = Registry("system")
 #: All runnable datasets, name -> DatasetSpec.
 DATASETS: "Registry[DatasetSpec]" = Registry("dataset")
 
+#: All meta-information functions, name -> MetaFeature component
+#: (see :mod:`repro.metafeatures.components`; the built-in Table I set
+#: registers at import of :mod:`repro.metafeatures`).
+METAFEATURES: "Registry[Any]" = Registry("meta-feature")
+
 
 def register_system(
     name: str, *, consumes_config: bool = False, replace: bool = False
@@ -184,6 +194,46 @@ def register_dataset(
     return decorate
 
 
+def register_metafeature(
+    component: Optional[Any] = None, *, replace: bool = False
+) -> Any:
+    """Register a :class:`~repro.metafeatures.components.MetaFeature`.
+
+    Usable as a bare decorator on a component class (instantiated with
+    no arguments), as a parameterised decorator, or called directly
+    with an already-constructed instance::
+
+        @register_metafeature
+        class WindowRange(MetaFeature):
+            name = "range"
+            ...
+
+        register_metafeature(Acf(lag=1))
+
+    The component's ``name`` attribute keys the registry; its ``group``
+    attribute defines the Table V group it expands from.
+    """
+
+    def decorate(obj: Any) -> Any:
+        instance = obj() if isinstance(obj, type) else obj
+        METAFEATURES.add(instance.name, instance, replace=replace)
+        return obj
+
+    if component is not None:
+        return decorate(component)
+    return decorate
+
+
+def metafeature_entry(name: str) -> Any:
+    """The registered component for ``name`` (KeyError lists known ones)."""
+    return METAFEATURES.get(name)
+
+
+def metafeature_names() -> List[str]:
+    """All registered meta-feature names, in registration order."""
+    return METAFEATURES.ordered_names()
+
+
 def system_entry(name: str) -> SystemEntry:
     """The registration for ``name`` (KeyError lists available systems)."""
     return SYSTEMS.get(name)
@@ -210,8 +260,12 @@ __all__ = [
     "DatasetSpec",
     "SYSTEMS",
     "DATASETS",
+    "METAFEATURES",
     "register_system",
     "register_dataset",
+    "register_metafeature",
+    "metafeature_entry",
+    "metafeature_names",
     "system_entry",
     "system_consumes_config",
     "system_names",

@@ -36,7 +36,6 @@ from repro.streams import realworld
 from repro.streams.base import ConceptGenerator
 from repro.streams.recurrence import RecurrentStream
 from repro.streams.synthetic import (
-    hyperplane_concepts,
     random_tree_concepts,
     rbf_concepts,
     stagger_concepts,

@@ -8,19 +8,119 @@ observations) and the **buffer window** ``B`` (observations delayed by
 12-15 of Algorithm 1).
 
 The production :class:`~repro.core.ficsum.Ficsum` loop uses a single
-:class:`SlidingWindow` plus a fingerprint cache instead — ``F_B(t)``
+:class:`ObservationWindow` plus a fingerprint cache instead — ``F_B(t)``
 equals ``F_A(t - b)`` when ``b`` is aligned to the fingerprint period,
-which halves extraction work.  :class:`DelayedWindowPair` remains the
-reference implementation of the paper's window semantics (and is what
-the tests verify the cache against).
+which halves extraction work — and the window's ring buffers expose the
+current contents as zero-copy ndarray views, so no Python lists are
+rebuilt on the fingerprint hot path.  :class:`DelayedWindowPair`
+remains the reference implementation of the paper's window semantics
+(and is what the tests verify the cache against).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Generic, Iterator, List, TypeVar
+from typing import Deque, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+import numpy as np
 
 T = TypeVar("T")
+
+
+class ArrayRing:
+    """A numpy ring buffer exposing the trailing window as a zero-copy view.
+
+    Uses the double-write trick: a ``2 * size`` backing array where every
+    item is stored at ``i % size`` and ``i % size + size``, so the last
+    ``size`` items always occupy one contiguous slice — ``view()`` is
+    O(1) and never copies, unlike ``list(deque)`` + ``np.stack``.
+
+    ``width=None`` stores scalars (1-D view); an integer stores rows of
+    that width (2-D view, chronological row order).  Views are read-only
+    snapshots of the buffer: consumers must not mutate them, and a view
+    taken before an ``append`` sees the post-append contents.
+    """
+
+    __slots__ = ("size", "_buf", "_n")
+
+    def __init__(
+        self, size: int, width: Optional[int] = None, dtype=np.float64
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        if width is not None and width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.size = size
+        shape = (2 * size,) if width is None else (2 * size, width)
+        self._buf = np.zeros(shape, dtype=dtype)
+        self._n = 0
+
+    def append(self, value) -> None:
+        pos = self._n % self.size
+        self._buf[pos] = value
+        self._buf[pos + self.size] = value
+        self._n += 1
+
+    def clear(self) -> None:
+        self._n = 0
+
+    @property
+    def full(self) -> bool:
+        return self._n >= self.size
+
+    def __len__(self) -> int:
+        return min(self._n, self.size)
+
+    def view(self) -> np.ndarray:
+        """The current window, oldest first — a contiguous slice."""
+        if self._n <= self.size:
+            return self._buf[: self._n]
+        start = self._n % self.size
+        return self._buf[start : start + self.size]
+
+
+class ObservationWindow:
+    """Sliding window of labelled observations with zero-copy array views.
+
+    Replaces ``SlidingWindow[(x, y, prediction)]`` on the FiCSUM hot
+    path: instead of rebuilding Python lists and re-stacking arrays at
+    every fingerprint period, the three behaviour streams live in ring
+    buffers and :meth:`arrays` hands out contiguous ndarray views.
+    """
+
+    __slots__ = ("size", "_x", "_y", "_p")
+
+    def __init__(self, size: int, n_features: int) -> None:
+        self.size = size
+        self._x = ArrayRing(size, n_features)
+        self._y = ArrayRing(size, dtype=np.int64)
+        self._p = ArrayRing(size, dtype=np.int64)
+
+    def append(self, x: np.ndarray, y: int, prediction: int) -> None:
+        self._x.append(x)
+        self._y.append(y)
+        self._p.append(prediction)
+
+    def clear(self) -> None:
+        self._x.clear()
+        self._y.clear()
+        self._p.clear()
+
+    @property
+    def full(self) -> bool:
+        return self._x.full
+
+    def __len__(self) -> int:
+        return len(self._x)
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(xs, ys, predictions)`` views over the current window.
+
+        ``xs`` is ``(n, d)`` float64; ``ys`` / ``predictions`` are
+        ``(n,)`` int64.  All three are zero-copy and must be treated as
+        read-only; they are invalidated by the next :meth:`append`.
+        """
+        return self._x.view(), self._y.view(), self._p.view()
 
 
 class SlidingWindow(Generic[T]):

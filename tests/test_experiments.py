@@ -329,3 +329,67 @@ class TestCli:
                 "run", "--system", "htcd", "--dataset", "STAGGER",
                 "--fingerprint-period", "5",
             ])
+
+
+class TestMetafeatureSelector:
+    def test_spec_field_folds_into_config(self):
+        spec = ExperimentSpec(
+            systems=["ficsum"],
+            datasets=["STAGGER"],
+            metafeatures=["mean", "autocorrelation"],
+        )
+        assert spec.config == {"metafeatures": ["mean", "autocorrelation"]}
+        cell = spec.expand()[0]
+        assert cell.config().metafeatures == ("mean", "autocorrelation")
+
+    def test_spec_field_conflicts_with_config_selection(self):
+        with pytest.raises(ValueError, match="metafeatures"):
+            ExperimentSpec(
+                systems=["ficsum"],
+                datasets=["STAGGER"],
+                metafeatures=["mean"],
+                config={"metafeatures": ["std"]},
+            )
+
+    def test_agreeing_selections_are_allowed(self):
+        spec = ExperimentSpec(
+            systems=["ficsum"],
+            datasets=["STAGGER"],
+            metafeatures=["std"],
+            config={"metafeatures": ["std"]},
+        )
+        assert spec.config == {"metafeatures": ["std"]}
+
+    def test_from_dict_accepts_metafeatures(self):
+        spec = ExperimentSpec.from_dict(
+            {
+                "systems": ["ficsum"],
+                "datasets": ["STAGGER"],
+                "metafeatures": ["imf_entropy"],
+            }
+        )
+        assert spec.config == {"metafeatures": ["imf_entropy"]}
+
+    def test_unknown_selection_rejected(self):
+        with pytest.raises(ValueError, match="unknown meta-information"):
+            ExperimentSpec(
+                systems=["ficsum"],
+                datasets=["STAGGER"],
+                metafeatures=["vibes"],
+            )
+
+    def test_legacy_functions_alias_normalises(self):
+        cfg = FicsumConfig(functions=["mean", "std"])
+        assert cfg.metafeatures == ("mean", "std")
+        assert cfg.functions is None
+        assert cfg.overrides() == {"metafeatures": ["mean", "std"]}
+
+    def test_conflicting_alias_rejected(self):
+        with pytest.raises(ValueError, match="legacy alias"):
+            FicsumConfig(functions=["mean"], metafeatures=["std"])
+
+    def test_baseline_cells_still_drop_selection(self):
+        spec = ExperimentSpec(
+            systems=["htcd"], datasets=["STAGGER"], metafeatures=["mean"]
+        )
+        assert spec.expand()[0].config_overrides == ()

@@ -147,3 +147,52 @@ class TestDatasetRegistry:
             DATASETS.unregister("TEST-STAGGER")
         with pytest.raises(KeyError, match="STAGGER"):
             make_dataset("TEST-STAGGER")
+
+
+class TestMetaFeatureRegistry:
+    def test_builtin_components_present(self):
+        from repro.metafeatures import FUNCTION_NAMES
+        from repro.registry import METAFEATURES
+
+        assert set(FUNCTION_NAMES) <= set(METAFEATURES)
+        assert METAFEATURES.ordered_names()[:4] == [
+            "mean", "std", "skew", "kurtosis",
+        ]
+
+    def test_register_decorator_and_instance(self):
+        from repro.metafeatures import MetaFeature
+        from repro.registry import METAFEATURES, register_metafeature
+
+        @register_metafeature
+        class Median(MetaFeature):
+            name = "test_median"
+
+            def batch_scalar(self, seq):
+                return 0.0
+
+        try:
+            assert "test_median" in METAFEATURES
+            assert METAFEATURES["test_median"].group == "test_median"
+        finally:
+            METAFEATURES.unregister("test_median")
+
+    def test_duplicate_metafeature_rejected(self):
+        from repro.metafeatures import MetaFeature
+        from repro.registry import register_metafeature
+
+        class Clash(MetaFeature):
+            name = "mean"
+
+            def batch_scalar(self, seq):
+                return 0.0
+
+        with pytest.raises(ValueError, match="duplicate meta-feature"):
+            register_metafeature(Clash())
+
+    def test_metafeature_entry_lookup(self):
+        from repro.registry import metafeature_entry, metafeature_names
+
+        assert metafeature_entry("mean").incremental
+        with pytest.raises(KeyError, match="unknown meta-feature"):
+            metafeature_entry("vibes")
+        assert "shapley" in metafeature_names()
