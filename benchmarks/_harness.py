@@ -102,6 +102,12 @@ def save_bench_json(name: str, extra: Optional[Dict[str, Any]] = None) -> Dict[s
     }
     if extra:
         payload.update(extra)
+    # Benches that measure outside the engine (no grids) report their
+    # observation counts through ``extra``; keep the total/executed
+    # pair consistent for such single-run benches instead of leaving a
+    # stale 0 from the empty grid log.
+    if not payload["observations_total"] and payload["observations_executed"]:
+        payload["observations_total"] = payload["observations_executed"]
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

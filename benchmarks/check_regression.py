@@ -1,0 +1,111 @@
+"""Benchmark-regression gate: compare fresh BENCH JSONs against baselines.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline-dir /tmp/bench-baselines \
+        --current-dir benchmarks/results \
+        --benches fingerprint_throughput system_throughput \
+        --tolerance 0.30
+
+Two classes of metric are compared, each within ``--tolerance``:
+
+* ``observations_per_sec`` — absolute throughput.  Meaningful when the
+  baseline was produced on comparable hardware (CI snapshots the
+  committed baseline before re-running the benches).
+* every ``speedup*`` key found anywhere in the payload — ratios of two
+  paths measured in the same process, so they are machine-independent
+  and catch "the optimisation quietly stopped working" regressions
+  even across hardware generations.
+
+Exits non-zero listing every regressed metric.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, Tuple
+
+
+def iter_metrics(payload: Dict, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield (dotted-path, value) for every comparable metric."""
+    for key, value in payload.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            yield from iter_metrics(value, f"{path}.")
+        elif isinstance(value, (int, float)) and (
+            key == "observations_per_sec" or key.startswith("speedup")
+        ):
+            yield path, float(value)
+
+
+def check_bench(
+    baseline_path: Path, current_path: Path, tolerance: float
+) -> list:
+    baseline = json.loads(baseline_path.read_text())
+    current = json.loads(current_path.read_text())
+    current_metrics = dict(iter_metrics(current))
+    failures = []
+    for path, base_value in iter_metrics(baseline):
+        cur_value = current_metrics.get(path)
+        if cur_value is None:
+            failures.append(f"{path}: missing from current results")
+            continue
+        if base_value <= 0:
+            continue
+        floor = base_value * (1.0 - tolerance)
+        status = "ok" if cur_value >= floor else "REGRESSED"
+        print(
+            f"  {path}: baseline={base_value:.2f} current={cur_value:.2f} "
+            f"floor={floor:.2f} [{status}]"
+        )
+        if cur_value < floor:
+            failures.append(
+                f"{path}: {cur_value:.2f} < {floor:.2f} "
+                f"(baseline {base_value:.2f}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", type=Path, required=True)
+    parser.add_argument(
+        "--current-dir", type=Path, default=Path(__file__).parent / "results"
+    )
+    parser.add_argument(
+        "--benches",
+        nargs="+",
+        default=["fingerprint_throughput", "system_throughput"],
+    )
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    args = parser.parse_args(argv)
+
+    all_failures = []
+    for bench in args.benches:
+        name = f"BENCH_{bench}.json"
+        baseline_path = args.baseline_dir / name
+        current_path = args.current_dir / name
+        print(f"[{bench}]")
+        if not baseline_path.exists():
+            print(f"  no committed baseline at {baseline_path}; skipping")
+            continue
+        if not current_path.exists():
+            all_failures.append(f"{bench}: no current results at {current_path}")
+            continue
+        all_failures.extend(check_bench(baseline_path, current_path, args.tolerance))
+
+    if all_failures:
+        print("\nBenchmark regressions detected:", file=sys.stderr)
+        for failure in all_failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nNo benchmark regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

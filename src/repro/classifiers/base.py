@@ -41,6 +41,34 @@ class Classifier(ABC):
         """
         return np.array([self.predict(x) for x in np.asarray(X)], dtype=np.int64)
 
+    def predict_proba_batch(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability estimates for every row of ``X``.
+
+        Returns ``(len(X), n_classes)``; the default loops
+        :meth:`predict_proba`, subclasses may vectorise.
+        """
+        X = np.asarray(X)
+        if len(X) == 0:
+            return np.empty((0, self.n_classes))
+        return np.stack([self.predict_proba(x) for x in X])
+
+    def predict_learn_batch(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Test-then-train over a chunk; returns the predictions.
+
+        Semantically identical to ``[self.predict(x); self.learn(x, y)]``
+        per row, in row order — each prediction reflects everything
+        learned from the rows before it.  The default loops; subclasses
+        may vectorise as long as they preserve that exact equivalence
+        (the chunked stream engine relies on it).
+        """
+        X = np.asarray(X)
+        y = np.asarray(y)
+        out = np.empty(len(y), dtype=np.int64)
+        for i in range(len(y)):
+            out[i] = self.predict(X[i])
+            self.learn(X[i], int(y[i]))
+        return out
+
     def change_marker(self) -> int:
         """Monotone counter that advances on significant internal change.
 

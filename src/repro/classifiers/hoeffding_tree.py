@@ -129,6 +129,26 @@ class _LeafNode:
     def _nb_predict(self, x: np.ndarray) -> int:
         return int(np.argmax(self._nb_log_scores(x)))
 
+    def _nb_log_scores_batch(self, X: np.ndarray) -> np.ndarray:
+        """``(n, n_classes)`` naive-Bayes scores, one row per input row.
+
+        Elementwise/reduction structure matches :meth:`_nb_log_scores`
+        exactly (same ops, same contiguous-axis summation order), so
+        every row is bit-identical to the scalar path.
+        """
+        counts = np.maximum(self.class_counts, 1.0)[:, None]
+        variances = np.maximum(self.m2 / counts, _MIN_VAR)
+        diff = X[:, None, :] - self.means[None, :, :]
+        log_pdf = -0.5 * (
+            np.log(variances)[None, :, :] + diff * diff / variances[None, :, :]
+        )
+        log_prior = np.where(
+            self.class_counts > 0,
+            np.log(np.maximum(self.class_counts, 1e-12)),
+            -1e9,
+        )
+        return log_prior[None, :] + log_pdf.sum(axis=2)
+
     def predict_proba(self, x: np.ndarray, mode: str) -> np.ndarray:
         n_classes = len(self.class_counts)
         if self.total_weight == 0:
@@ -144,6 +164,37 @@ class _LeafNode:
         if total <= 0 or not np.isfinite(total):
             return np.full(n_classes, 1.0 / n_classes)
         return probs / total
+
+    def predict_proba_batch(self, X: np.ndarray, mode: str) -> np.ndarray:
+        """Vectorised :meth:`predict_proba` over the rows of ``X``.
+
+        Bit-identical per row to the scalar path: the leaf-predictor
+        choice (majority vs naive Bayes) is a property of the leaf, so
+        it is hoisted out of the row dimension, and the NB scores come
+        from :meth:`_nb_log_scores_batch`.
+        """
+        n = X.shape[0]
+        n_classes = len(self.class_counts)
+        if self.total_weight == 0:
+            return np.full((n, n_classes), 1.0 / n_classes)
+        use_nb = mode == "nb" or (mode == "nba" and self.nb_correct >= self.mc_correct)
+        if not use_nb:
+            probs = self.class_counts.copy()
+            total = probs.sum()
+            if total <= 0 or not np.isfinite(total):
+                probs = np.full(n_classes, 1.0 / n_classes)
+            else:
+                probs = probs / total
+            return np.broadcast_to(probs, (n, n_classes)).copy()
+        scores = self._nb_log_scores_batch(X)
+        scores = scores - scores.max(axis=1, keepdims=True)
+        probs = np.exp(scores)
+        totals = probs.sum(axis=1)
+        bad = (totals <= 0) | ~np.isfinite(totals)
+        if bad.any():
+            probs[bad] = 1.0 / n_classes
+            totals[bad] = 1.0
+        return probs / totals[:, None]
 
     # -- split search ----------------------------------------------------
     def best_splits(self, n_split_points: int) -> List[tuple]:
@@ -357,6 +408,125 @@ class HoeffdingTree(Classifier):
         x = np.asarray(x, dtype=np.float64)
         leaf = self._sort_to_leaf(x)
         return leaf.predict_proba(x, self.leaf_prediction)
+
+    # -- vectorised batch paths ------------------------------------------
+    def _leaf_groups(self, X: np.ndarray) -> List[tuple]:
+        """Partition row indices of ``X`` onto leaves with mask routing.
+
+        One boolean mask per split node on the visited path replaces
+        the per-row ``_sort_to_leaf`` walks; returns ``(leaf, indices)``
+        pairs covering every row (indices in ascending row order).
+        """
+        groups: List[tuple] = []
+        if X.shape[0] == 0:
+            return groups
+        stack: List[tuple] = [(self._root, np.arange(X.shape[0]))]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if isinstance(node, _SplitNode):
+                mask = X[idx, node.feature] <= node.threshold
+                stack.append((node.left, idx[mask]))
+                stack.append((node.right, idx[~mask]))
+            else:
+                groups.append((node, idx))
+        return groups
+
+    def predict_proba_batch(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities for every row, via mask-based routing.
+
+        Rows are partitioned down the split nodes with boolean masks
+        and each leaf scores its group with vectorised naive-Bayes /
+        majority arithmetic — bit-identical per row to
+        :meth:`predict_proba`.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty((X.shape[0], self.n_classes))
+        for leaf, idx in self._leaf_groups(X):
+            out[idx] = leaf.predict_proba_batch(X[idx], self.leaf_prediction)
+        return out
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(X.shape[0], dtype=np.int64)
+        for leaf, idx in self._leaf_groups(X):
+            probs = leaf.predict_proba_batch(X[idx], self.leaf_prediction)
+            out[idx] = np.argmax(probs, axis=1)
+        return out
+
+    def predict_learn_batch(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Exact chunked test-then-train with shared routing.
+
+        Routes the whole chunk down the tree once with boolean masks,
+        then processes each leaf's rows in chronological order.  Leaf
+        statistics are independent across leaves and predictions depend
+        only on the owning leaf, so grouping by leaf preserves the
+        per-observation semantics exactly; when a leaf splits mid-chunk
+        its remaining rows are re-routed through the new subtree.  The
+        single caveat: when the ``max_leaves`` bound is *reached inside
+        one chunk*, the order in which competing leaves claim the final
+        split slots can differ from the per-observation order.
+
+        Trees with ``max_features`` random subspaces (ARF's mechanism)
+        fall back to the per-observation loop: every split draws a
+        feature subset from the tree's rng, so the leaf-grouped split
+        order would reorder those draws and break the equivalence.
+        """
+        if self.max_features is not None:
+            return super().predict_learn_batch(X, y)
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n = len(y)
+        out = np.empty(n, dtype=np.int64)
+        if n == 0:
+            return out
+        if y.min() < 0 or y.max() >= self.n_classes:
+            bad = y[(y < 0) | (y >= self.n_classes)][0]
+            raise ValueError(f"label {bad} out of range [0, {self.n_classes})")
+        use_nba = self.leaf_prediction == "nba"
+        mode = self.leaf_prediction
+        grace = self.grace_period
+        stack: List[tuple] = [(self._root, None, False, np.arange(n))]
+        while stack:
+            node, parent, went_left, idx = stack.pop()
+            while isinstance(node, _SplitNode):
+                mask = X[idx, node.feature] <= node.threshold
+                right_idx = idx[~mask]
+                if right_idx.size:
+                    stack.append((node.right, node, False, right_idx))
+                parent, went_left = node, True
+                node, idx = node.left, idx[mask]
+            if idx.size == 0:
+                continue
+            leaf: _LeafNode = node
+            may_split = leaf.depth < self.max_depth
+            pos = 0
+            while pos < idx.size:
+                i = idx[pos]
+                x = X[i]
+                out[i] = int(np.argmax(leaf.predict_proba(x, mode)))
+                leaf.learn(x, y[i], use_nb_adaptive=use_nba)
+                pos += 1
+                if (
+                    may_split
+                    and self.n_leaves < self.max_leaves
+                    and leaf.total_weight - leaf.weight_at_last_attempt >= grace
+                ):
+                    splits_before = self.n_splits
+                    self._attempt_split(leaf, parent, went_left)
+                    if self.n_splits != splits_before:
+                        # The leaf became a split node: re-route the
+                        # rest of this group through the new subtree.
+                        if pos < idx.size:
+                            grown = (
+                                self._root
+                                if parent is None
+                                else (parent.left if went_left else parent.right)
+                            )
+                            stack.append((grown, parent, went_left, idx[pos:]))
+                        break
+        return out
 
     def change_marker(self) -> int:
         """Structural-change counter: advances when a branch is grown."""

@@ -38,10 +38,40 @@ class KnnClassifier(Classifier):
         if not self._window:
             return np.full(self.n_classes, 1.0 / self.n_classes)
         x = np.asarray(x, dtype=np.float64)
-        data = np.stack([item[0] for item in self._window])
-        labels = np.array([item[1] for item in self._window])
+        data, labels = self._window_arrays()
         dists = np.linalg.norm(data - x[None, :], axis=1)
         k = min(self.k, len(dists))
         nearest = labels[np.argpartition(dists, k - 1)[:k]]
         counts = np.bincount(nearest, minlength=self.n_classes).astype(np.float64)
         return counts / counts.sum()
+
+    def _window_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        data = np.stack([item[0] for item in self._window])
+        labels = np.array([item[1] for item in self._window])
+        return data, labels
+
+    def predict_proba_batch(self, X: np.ndarray) -> np.ndarray:
+        """Vectorised batch path: one distance matrix for all rows.
+
+        The scalar path re-stacks the stored window (a Python loop over
+        up to ``window_size`` items) for *every* prediction; here the
+        window is materialised once and all row distances come from one
+        broadcasted norm.  Per-row selection and counting match the
+        scalar path exactly (same contiguous-lane partition).
+        """
+        X = np.asarray(X, dtype=np.float64)
+        n = X.shape[0]
+        if not self._window:
+            return np.full((n, self.n_classes), 1.0 / self.n_classes)
+        if n == 0:
+            return np.empty((0, self.n_classes))
+        data, labels = self._window_arrays()
+        dists = np.linalg.norm(data[None, :, :] - X[:, None, :], axis=2)
+        k = min(self.k, data.shape[0])
+        nearest = labels[np.argpartition(dists, k - 1, axis=1)[:, :k]]
+        counts = np.zeros((n, self.n_classes))
+        np.add.at(counts, (np.arange(n)[:, None], nearest), 1.0)
+        return counts / counts.sum(axis=1, keepdims=True)
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba_batch(X), axis=1).astype(np.int64)

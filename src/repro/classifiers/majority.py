@@ -24,3 +24,12 @@ class MajorityClass(Classifier):
         if total == 0:
             return np.full(self.n_classes, 1.0 / self.n_classes)
         return self.class_counts / total
+
+    def predict_proba_batch(self, X: np.ndarray) -> np.ndarray:
+        n = np.asarray(X).shape[0]
+        row = self.predict_proba(None)  # independent of the input row
+        return np.broadcast_to(row, (n, self.n_classes)).copy()
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        n = np.asarray(X).shape[0]
+        return np.full(n, int(np.argmax(self.predict_proba(None))), dtype=np.int64)

@@ -48,6 +48,13 @@ class FicsumConfig:
         Serve rolling-capable meta-features from O(1) accumulators on
         the fingerprint hot path (batch recomputation remains the
         reference path and is used when disabled).
+    extraction_cache:
+        Share the classifier-independent fingerprint dimensions across
+        all candidate states fingerprinting the same window (model
+        selection, the post-drift re-check and the repository step),
+        turning O(R × full-extract) into O(full-extract +
+        R × dependent-dims).  Bit-for-bit identical results; the switch
+        exists for benchmarking the pre-cache cost.
     weighting:
         "full" (paper), "sigma" (scale term only), "fisher"
         (discrimination term only) or "none" (plain cosine) — ablation.
@@ -96,6 +103,7 @@ class FicsumConfig:
     functions: Optional[Sequence[str]] = None
     source_set: str = "all"
     incremental: bool = True
+    extraction_cache: bool = True
     weighting: str = "full"
     plasticity: bool = True
     second_selection: bool = True

@@ -25,6 +25,7 @@ Per observation the framework
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -36,7 +37,7 @@ from repro.core.repository import ConceptState, Repository
 from repro.core.similarity import similarity
 from repro.core.weighting import make_weights
 from repro.detectors import Adwin
-from repro.metafeatures import FingerprintPipeline
+from repro.metafeatures import FingerprintPipeline, WindowExtractionCache
 from repro.system import AdaptiveSystem
 from repro.utils.stats import OnlineMinMax
 from repro.utils.windows import ObservationWindow
@@ -115,7 +116,17 @@ class Ficsum(AdaptiveSystem):
         self._aligned_delay = max(
             period, int(np.ceil(cfg.buffer_delay / period)) * period
         )
-        self._fa_cache: dict = {}
+        # Bounded FIFO of recent active fingerprints keyed by step:
+        # insertions arrive in step order, stale entries are popped from
+        # the front, so the structure is a deque with O(1) key lookup
+        # (never rebuilt, unlike a per-step dict comprehension).
+        self._fa_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        # Shared-window extraction: classifier-independent dimensions
+        # computed once per window identity and reused across every
+        # candidate state (model selection, re-check, repository step).
+        self._extract_cache: Optional[WindowExtractionCache] = (
+            WindowExtractionCache(self.pipeline) if cfg.extraction_cache else None
+        )
         self._switch_step = 0
         self._warmup_obs = int(cfg.drift_warmup_windows * cfg.window_size)
         self._freeze_streak = 0
@@ -179,7 +190,83 @@ class Ficsum(AdaptiveSystem):
             self.pipeline.push(x, int(y), int(prediction))
         self._step += 1
         self._active.last_active_step = self._step
+        self._maintenance()
+        return prediction
 
+    def process_chunk(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        state_ids_out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Chunked prequential processing, exactly equivalent to
+        :meth:`process` row by row.
+
+        The chunk is cut into sub-chunks aligned to the next scheduled
+        event (fingerprint period, repository period, pending re-check).
+        Between events the framework state is only *written* — window,
+        accumulators, classifier — never read, so within a sub-chunk
+        the active classifier handles prediction and learning with one
+        vectorised tree routing (:meth:`Classifier.predict_learn_batch`),
+        the window ring buffers take block writes, and the per-
+        observation maintenance (plasticity marker, event dispatch)
+        collapses to one check at the boundary.  Predictions, drift
+        points, state-id traces and all fingerprint state are identical
+        to the per-observation path.
+        """
+        cfg = self.config
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n = len(y)
+        if X.shape != (n, self.n_features):
+            raise ValueError(
+                f"X shape {X.shape} does not match ({n}, {self.n_features})"
+            )
+        predictions = np.empty(n, dtype=np.int64)
+        i = 0
+        while i < n:
+            m = min(n - i, self._obs_until_next_event())
+            xs = X[i : i + m]
+            ys = y[i : i + m]
+            preds = self._active.classifier.predict_learn_batch(xs, ys)
+            predictions[i : i + m] = preds
+            self.window.extend(xs, ys, preds)
+            if cfg.incremental:
+                self.pipeline.push_many(xs, ys, preds)
+            self._step += m
+            self._active.last_active_step = self._step
+            if state_ids_out is not None:
+                state_ids_out[i : i + m] = self._active.state_id
+            self._maintenance()
+            if state_ids_out is not None:
+                # The boundary observation sees the post-event state,
+                # exactly as a per-observation harness would log it.
+                state_ids_out[i + m - 1] = self._active.state_id
+            i += m
+        return predictions
+
+    def _obs_until_next_event(self) -> int:
+        """Observations until the next step with scheduled work (>= 1)."""
+        cfg = self.config
+        step = self._step
+        nxt = min(
+            cfg.fingerprint_period - step % cfg.fingerprint_period,
+            cfg.repository_period - step % cfg.repository_period,
+        )
+        if self._pending_recheck is not None:
+            nxt = min(nxt, max(1, self._pending_recheck - step))
+        return nxt
+
+    def _maintenance(self) -> None:
+        """Post-observation work: plasticity marker and periodic events.
+
+        Runs after every observation on the per-observation path and
+        once per event-aligned sub-chunk on the chunked path — the two
+        are equivalent because between events nothing reads the
+        fingerprint state the plasticity reset touches (consecutive
+        resets with no incorporation between them collapse to one).
+        """
+        cfg = self.config
         # Plasticity is meaningless for a univariate fingerprint: it
         # would erase the entire representation on every tree split.
         if cfg.plasticity and self.n_dims > 1:
@@ -198,7 +285,6 @@ class Ficsum(AdaptiveSystem):
             self._pending_recheck = None
             if cfg.second_selection:
                 self._second_selection()
-        return prediction
 
     def signal_drift(self) -> None:
         """Oracle drift notification (perfect-detection experiment)."""
@@ -225,6 +311,10 @@ class Ficsum(AdaptiveSystem):
             fp_active = self.pipeline.extract_incremental(
                 xa, ya, la, self._active.classifier
             )
+        elif self._extract_cache is not None:
+            fp_active = self._extract_cache.extract(
+                self._step, xa, ya, la, self._active.classifier
+            )
         else:
             fp_active = self.pipeline.extract(xa, ya, la, self._active.classifier)
         self.normalizer.update(fp_active)
@@ -235,7 +325,8 @@ class Ficsum(AdaptiveSystem):
         if self._step - cfg.window_size >= self._switch_step:
             self._fa_cache[self._step] = fp_active
         stale = self._step - 2 * self._aligned_delay
-        self._fa_cache = {s: f for s, f in self._fa_cache.items() if s > stale}
+        while self._fa_cache and next(iter(self._fa_cache)) <= stale:
+            self._fa_cache.popitem(last=False)
 
         # The buffer window's fingerprint is the active fingerprint from
         # `aligned_delay` steps ago (same observations, same stored
@@ -334,6 +425,23 @@ class Ficsum(AdaptiveSystem):
             if state.fingerprint.count >= 2 and state.sim_stats.count >= 2
         ]
 
+    def _window_fingerprint(
+        self, xa: np.ndarray, ya: np.ndarray, state: ConceptState
+    ) -> np.ndarray:
+        """The active window's fingerprint under ``state``'s classifier.
+
+        All candidate states share the window's classifier-independent
+        dimensions, so those are served from :class:`WindowExtractionCache`
+        (computed once per window identity — ``self._step``) and only the
+        prediction-derived dimensions are extracted per state.
+        """
+        preds = state.classifier.predict_batch(xa)
+        if self._extract_cache is not None:
+            return self._extract_cache.extract(
+                self._step, xa, ya, preds, state.classifier
+            )
+        return self.pipeline.extract(xa, ya, preds, state.classifier)
+
     def _error_gate(self, state: ConceptState, fp: np.ndarray) -> bool:
         """Is the window error rate of ``state``'s classifier normal?
 
@@ -358,8 +466,7 @@ class Ficsum(AdaptiveSystem):
         xa, ya, _ = self.window.arrays()
         best: Optional[Tuple[float, ConceptState]] = None
         for state in self._candidate_states():
-            preds = state.classifier.predict_batch(xa)
-            fp = self.pipeline.extract(xa, ya, preds, state.classifier)
+            fp = self._window_fingerprint(xa, ya, state)
             self.normalizer.update(fp)
             sim = self._sim(state.fingerprint.means, fp)
             mu, sigma = self._gated_record(state)
@@ -407,8 +514,7 @@ class Ficsum(AdaptiveSystem):
         if active.fingerprint.count < 2 or active.sim_stats.count < 2:
             return True
         xa, ya, _ = self.window.arrays()
-        preds = active.classifier.predict_batch(xa)
-        fp = self.pipeline.extract(xa, ya, preds, active.classifier)
+        fp = self._window_fingerprint(xa, ya, active)
         sim = self._sim(active.fingerprint.means, fp)
         mu, sigma = self._gated_record(active)
         if abs(sim - mu) > self.config.similarity_gate * sigma:
@@ -464,8 +570,7 @@ class Ficsum(AdaptiveSystem):
         xa, ya, _ = self.window.arrays()
         other_sims: List[float] = []
         for state in others:
-            preds = state.classifier.predict_batch(xa)
-            fp = self.pipeline.extract(xa, ya, preds, state.classifier)
+            fp = self._window_fingerprint(xa, ya, state)
             self.normalizer.update(fp)
             state.nonactive.incorporate(fp)
             if self.config.track_discrimination and state.sim_stats.count >= 2:
@@ -478,8 +583,7 @@ class Ficsum(AdaptiveSystem):
             and self._active.fingerprint.count >= 2
             and self._active.sim_stats.count >= 2
         ):
-            preds = self._active.classifier.predict_batch(xa)
-            fp = self.pipeline.extract(xa, ya, preds, self._active.classifier)
+            fp = self._window_fingerprint(xa, ya, self._active)
             sim = self._sim(self._active.fingerprint.means, fp)
             mu, sigma = self._gated_record(self._active)
             z_active = (sim - mu) / sigma

@@ -31,6 +31,10 @@ class ConfusionMatrix:
     def update(self, y_true: int, y_pred: int) -> None:
         self.matrix[y_true, y_pred] += 1
 
+    def update_many(self, y_true: np.ndarray, y_pred: np.ndarray) -> None:
+        """Accumulate a whole chunk of (true, predicted) pairs at once."""
+        np.add.at(self.matrix, (np.asarray(y_true), np.asarray(y_pred)), 1)
+
     @property
     def total(self) -> int:
         return int(self.matrix.sum())

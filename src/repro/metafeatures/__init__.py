@@ -34,6 +34,7 @@ from repro.metafeatures.pipeline import (
     FingerprintPipeline,
     FingerprintSchema,
     SourceInfo,
+    WindowExtractionCache,
     source_info,
 )
 from repro.metafeatures.rolling import ErrorDistanceTracker, RollingWindowStats
@@ -56,6 +57,7 @@ __all__ = [
     "FingerprintExtractor",
     "FingerprintPipeline",
     "FingerprintSchema",
+    "WindowExtractionCache",
     "RollingWindowStats",
     "ErrorDistanceTracker",
     "empirical_mode_decomposition",

@@ -101,6 +101,17 @@ class MetaFeature:
         """Evaluate on one arbitrary-length sequence."""
         raise NotImplementedError
 
+    def batch_scalar_cached(self, seq: np.ndarray, cache: Dict) -> float:
+        """Like :meth:`batch_scalar`, memoising shared sub-computations.
+
+        ``cache`` is a per-(sequence, extraction) dict: components whose
+        scalar values share expensive intermediates (both IMF entropies
+        come from one decomposition) stash them there so each is paid
+        once per extraction.  Must return exactly the
+        :meth:`batch_scalar` value.
+        """
+        return self.batch_scalar(seq)
+
     def batch_rows(self, ctx: WindowContext) -> np.ndarray:
         """Row-wise evaluation over the window matrix."""
         return np.array(
@@ -291,6 +302,12 @@ class ImfEntropy(MetaFeature):
 
     def batch_scalar(self, seq: np.ndarray) -> float:
         return float(imf_entropies(seq, 2)[self.mode - 1])
+
+    def batch_scalar_cached(self, seq: np.ndarray, cache: Dict) -> float:
+        table = cache.get("imf")
+        if table is None:
+            table = cache["imf"] = imf_entropies(seq, 2)
+        return float(table[self.mode - 1])
 
     def batch_rows(self, ctx: WindowContext) -> np.ndarray:
         return ctx.imf_table()[:, self.mode - 1]

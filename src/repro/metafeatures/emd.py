@@ -43,8 +43,10 @@ def _envelope(x: np.ndarray, idx: np.ndarray, spline: str) -> np.ndarray:
     """Interpolated envelope through the extrema, clamped at both ends."""
     n = x.size
     t = np.arange(n)
+    # Extrema indices are strictly increasing interior positions, so
+    # prepending 0 and appending n-1 already yields a sorted unique
+    # knot vector — no dedup pass needed.
     knots = np.concatenate(([0], idx, [n - 1]))
-    knots = np.unique(knots)
     values = x[knots]
     if spline == "cubic" and knots.size >= 4:
         return CubicSpline(knots, values)(t)
@@ -76,10 +78,11 @@ def empirical_mode_decomposition(
         if maxima.size < 2 or minima.size < 2:
             break
         h = residue.copy()
-        for _ in range(max_siftings):
-            maxima, minima = _local_extrema(h)
-            if maxima.size < 2 or minima.size < 2:
-                break
+        for sifting in range(max_siftings):
+            if sifting:  # first pass reuses the extrema of h == residue
+                maxima, minima = _local_extrema(h)
+                if maxima.size < 2 or minima.size < 2:
+                    break
             upper = _envelope(h, maxima, spline)
             lower = _envelope(h, minima, spline)
             mean_env = 0.5 * (upper + lower)

@@ -19,7 +19,7 @@ supervised sources (the S-MI / U-MI / ER restricted variants of
 Section VI) — from the declared source and component metadata instead
 of hard-coded name lists.
 
-Two extraction paths share one schema:
+Three extraction paths share one schema:
 
 * :meth:`FingerprintPipeline.extract` — the batch reference: every
   component recomputed from the full window (also used for candidate
@@ -30,6 +30,18 @@ Two extraction paths share one schema:
   components that admit rolling algebra read their values from O(1)
   accumulators; only the expensive components (IMF entropies, lagged
   MI, permutation importance) fall back to batch recomputation.
+* :meth:`FingerprintPipeline.extract_shared` +
+  :meth:`FingerprintPipeline.extract_partial` — the model-selection
+  hot path: the classifier-independent dimensions (feature- and
+  label-sourced) are identical for every candidate classifier
+  re-labelling the same window, so they are computed once and reused
+  while only the preds/errors/error-distance dimensions (plus
+  classifier-backed components such as the permutation importance) are
+  recomputed per candidate.  :class:`WindowExtractionCache` keys the
+  shared part on window identity so ``R`` candidate extractions cost
+  one shared pass plus ``R`` dependent-dimension passes.  Both halves
+  are computed with the same row kernels over sub-matrices of the same
+  layout, so ``extract_partial`` is bit-for-bit equal to ``extract``.
 """
 
 from __future__ import annotations
@@ -242,6 +254,25 @@ class FingerprintPipeline:
             not c.incremental and not skip
             for c, skip in zip(self.components, self._classifier_components)
         )
+        # Shared/partial split: matrix-source rows whose values are the
+        # same for every classifier (features, labels) vs the rows that
+        # must be recomputed per candidate classifier (preds, errors).
+        self._indep_rows = np.array(
+            [
+                i
+                for i, s in enumerate(self._matrix_sources)
+                if not source_info(s).classifier_dependent
+            ],
+            dtype=np.intp,
+        )
+        self._dep_rows = np.array(
+            [
+                i
+                for i, s in enumerate(self._matrix_sources)
+                if source_info(s).classifier_dependent
+            ],
+            dtype=np.intp,
+        )
         # Incremental machinery (created lazily by attach_window or
         # eagerly when window_size is given).
         self._rolling: Optional[RollingWindowStats] = None
@@ -308,6 +339,19 @@ class FingerprintPipeline:
         if self._error_tracker is not None:
             self._error_tracker.push(bool(error))
 
+    def push_many(
+        self, xs: np.ndarray, ys: np.ndarray, predictions: np.ndarray
+    ) -> None:
+        """Slide the accumulators forward by a chunk of observations.
+
+        The rolling algebra is inherently sequential, so this is a
+        convenience loop over :meth:`push` (one call per observation,
+        identical state evolution).
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        for i in range(len(ys)):
+            self.push(xs[i], int(ys[i]), int(predictions[i]))
+
     @property
     def n_observed(self) -> int:
         """Observations currently held by the rolling accumulators."""
@@ -356,6 +400,134 @@ class FingerprintPipeline:
                 f"attached accumulator window ({self._window_size})"
             )
         return self._extract(window_x, labels, preds, classifier, rolling=True)
+
+    # ------------------------------------------------------------------
+    # Shared/partial extraction (model-selection hot path)
+    # ------------------------------------------------------------------
+    def extract_shared(
+        self, window_x: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Classifier-independent dimensions of a window's fingerprint.
+
+        Returns a full-length fingerprint vector whose feature- and
+        label-sourced dimensions hold their batch-reference values and
+        whose classifier-dependent dimensions are zero.  The result is
+        valid for *every* classifier re-labelling the same window —
+        :meth:`extract_partial` fills in the rest per candidate.
+        """
+        window_x = np.asarray(window_x, dtype=np.float64)
+        w = len(labels)
+        if window_x.shape != (w, self.n_features):
+            raise ValueError(
+                f"window_x shape {window_x.shape} does not match "
+                f"({w}, {self.n_features})"
+            )
+        n_sources = len(self.schema.source_names)
+        n_functions = len(self.components)
+        fingerprint = np.zeros((n_sources, n_functions))
+        rows = self._indep_rows
+        if rows.size:
+            labels = np.asarray(labels, dtype=np.float64)
+            ctx = WindowContext(self._build_row_matrix(window_x, labels, None, None, rows))
+            for j, component in enumerate(self.components):
+                if self._classifier_components[j]:
+                    continue  # classifier-backed: recomputed per candidate
+                fingerprint[rows, j] = component.batch_rows(ctx)
+        return fingerprint.reshape(-1)
+
+    def extract_partial(
+        self,
+        window_x: np.ndarray,
+        labels: np.ndarray,
+        preds: np.ndarray,
+        classifier: Optional[Classifier] = None,
+        shared: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Complete a :meth:`extract_shared` vector for one classifier.
+
+        Recomputes exactly the dimensions flagged by
+        ``schema.classifier_dependent`` — the preds/errors/error-distance
+        sources plus classifier-backed components — and fills everything
+        else from ``shared`` (computed on demand when omitted).  The
+        result is bit-for-bit identical to :meth:`extract` on the same
+        inputs: both paths run the same row kernels over sub-matrices of
+        identical layout.
+        """
+        if shared is None:
+            shared = self.extract_shared(window_x, labels)
+        window_x = np.asarray(window_x, dtype=np.float64)
+        w = len(labels)
+        if window_x.shape != (w, self.n_features):
+            raise ValueError(
+                f"window_x shape {window_x.shape} does not match "
+                f"({w}, {self.n_features})"
+            )
+        n_sources = len(self.schema.source_names)
+        n_functions = len(self.components)
+        n_matrix = len(self._matrix_sources)
+        fingerprint = np.array(shared, dtype=np.float64).reshape(
+            n_sources, n_functions
+        )
+        labels = np.asarray(labels, dtype=np.float64)
+        preds = np.asarray(preds, dtype=np.float64)
+        errors = (labels != preds).astype(np.float64)
+
+        rows = self._dep_rows
+        ctx: Optional[WindowContext] = None
+        if rows.size:
+            ctx = WindowContext(
+                self._build_row_matrix(window_x, labels, preds, errors, rows)
+            )
+        dists: Optional[np.ndarray] = None
+        if self._has_error_dists:
+            error_idx = np.flatnonzero(errors)
+            if error_idx.size >= 2:
+                dists = np.diff(error_idx).astype(np.float64)
+            else:
+                dists = np.array([float(w)])
+        ed_cache: dict = {}
+        for j, component in enumerate(self.components):
+            if self._classifier_components[j]:
+                fingerprint[:n_matrix, j] = self._classifier_column(
+                    component, window_x, classifier
+                )
+            elif ctx is not None:
+                fingerprint[rows, j] = component.batch_rows(ctx)
+            if dists is not None:
+                fingerprint[n_matrix, j] = component.batch_scalar_cached(
+                    dists, ed_cache
+                )
+        return fingerprint.reshape(-1)
+
+    def _build_row_matrix(
+        self,
+        window_x: np.ndarray,
+        labels: Optional[np.ndarray],
+        preds: Optional[np.ndarray],
+        errors: Optional[np.ndarray],
+        rows: np.ndarray,
+    ) -> np.ndarray:
+        """C-contiguous sub-matrix of the selected matrix-source rows.
+
+        Row contents match :meth:`_build_matrix` exactly (same dtype,
+        same contiguity), so per-row kernels produce bit-identical
+        values on the sub-matrix and on the full matrix.
+        """
+        d = self.n_features
+        w = window_x.shape[0]
+        by_index = {d: labels, d + 1: preds, d + 2: errors}
+        if self.source_set == "supervised":
+            by_index = {0: labels, 1: preds, 2: errors}
+        elif self.source_set == "error_rate":
+            by_index = {0: errors}
+        matrix = np.empty((rows.size, w))
+        for out_row, src_row in enumerate(rows):
+            src_row = int(src_row)
+            if self.source_set in ("all", "unsupervised") and src_row < d:
+                matrix[out_row] = window_x[:, src_row]
+            else:
+                matrix[out_row] = by_index[src_row]
+        return matrix
 
     def _extract(
         self,
@@ -412,6 +584,7 @@ class FingerprintPipeline:
         columns = np.empty((n_functions, n_matrix))
         ed_values = np.empty(n_functions) if self._has_error_dists else None
         stats = self._rolling
+        ed_cache: dict = {}
         for j, component in enumerate(self.components):
             if self._classifier_components[j]:
                 columns[j] = self._classifier_column(
@@ -425,9 +598,9 @@ class FingerprintPipeline:
                 if gap_stats is not None and component.incremental:
                     ed_values[j] = component.rolling_scalar(gap_stats)
                 else:
-                    ed_values[j] = component.batch_scalar(
-                        dists if dists is not None else gap_stats.values()
-                    )
+                    if dists is None:
+                        dists = gap_stats.values()
+                    ed_values[j] = component.batch_scalar_cached(dists, ed_cache)
         fingerprint = np.empty((n_sources, n_functions))
         fingerprint[:n_matrix] = columns.T
         if ed_values is not None:
@@ -479,6 +652,63 @@ class FingerprintPipeline:
         return values
 
 
+class WindowExtractionCache:
+    """Shares classifier-independent extraction work across one window.
+
+    Model selection, the post-drift re-check and the repository step
+    all fingerprint the *same* active window once per stored concept —
+    only the predicted-label-derived dimensions differ between
+    candidates.  This cache keys the shared (classifier-independent)
+    part on a caller-supplied window identity (FiCSUM uses its
+    observation counter): the first extraction for a key pays one
+    :meth:`FingerprintPipeline.extract_shared` pass, every further
+    extraction for the same key pays only the dependent dimensions.
+
+    ``n_shared_computes`` / ``n_partial_extracts`` count the work done,
+    so tests can assert the O(R × full-extract) → O(full-extract +
+    R × dependent-dims) restructuring actually holds.
+    """
+
+    def __init__(self, pipeline: FingerprintPipeline) -> None:
+        self.pipeline = pipeline
+        self._key: Optional[object] = None
+        self._shared: Optional[np.ndarray] = None
+        self.n_shared_computes = 0
+        self.n_partial_extracts = 0
+
+    def invalidate(self) -> None:
+        """Drop the cached shared part.
+
+        Only needed by callers that *reuse* a key for different window
+        contents; with unique-per-window keys (FiCSUM keys on its
+        monotone observation counter) the key change itself invalidates.
+        """
+        self._key = None
+        self._shared = None
+
+    def extract(
+        self,
+        key: object,
+        window_x: np.ndarray,
+        labels: np.ndarray,
+        preds: np.ndarray,
+        classifier: Optional[Classifier] = None,
+    ) -> np.ndarray:
+        """Fingerprint a window, reusing shared work for repeated keys.
+
+        Bit-for-bit equal to ``pipeline.extract(window_x, labels,
+        preds, classifier)`` for every call, whatever the key history.
+        """
+        if key != self._key:
+            self._shared = self.pipeline.extract_shared(window_x, labels)
+            self._key = key
+            self.n_shared_computes += 1
+        self.n_partial_extracts += 1
+        return self.pipeline.extract_partial(
+            window_x, labels, preds, classifier, shared=self._shared
+        )
+
+
 #: Backwards-compatible name: the pipeline supersedes the closed
 #: extractor but keeps its constructor and ``extract`` contract.
 FingerprintExtractor = FingerprintPipeline
@@ -492,4 +722,5 @@ __all__ = [
     "FingerprintSchema",
     "FingerprintPipeline",
     "FingerprintExtractor",
+    "WindowExtractionCache",
 ]

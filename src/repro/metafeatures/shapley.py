@@ -56,13 +56,27 @@ def window_permutation_importance(
     )
     base_x = window_x[eval_idx]
     base_pred = classifier.predict_batch(base_x)
+    n_eval = len(eval_idx)
     importances = np.zeros(d)
+    # All single-feature perturbations ride one stacked predict_batch
+    # call: per-row predictions are independent, so the results are
+    # identical to d separate calls while the classifier routes the
+    # whole probe set once.
+    perturbed = np.empty((d, n_eval, base_x.shape[1]))
+    active = np.zeros(d, dtype=bool)
     for j in range(d):
-        shuffled = window_x[rng.permutation(w)[: len(eval_idx)], j]
+        shuffled = window_x[rng.permutation(w)[:n_eval], j]
         if np.allclose(shuffled, base_x[:, j]):
             continue
-        perturbed = base_x.copy()
-        perturbed[:, j] = shuffled
-        changed = classifier.predict_batch(perturbed) != base_pred
-        importances[j] = float(changed.mean())
+        active[j] = True
+        perturbed[j] = base_x
+        perturbed[j, :, j] = shuffled
+    if active.any():
+        stacked = perturbed[active].reshape(-1, base_x.shape[1])
+        changed = classifier.predict_batch(stacked) != np.tile(
+            base_pred, int(active.sum())
+        )
+        importances[active] = changed.reshape(int(active.sum()), n_eval).mean(
+            axis=1
+        )
     return importances

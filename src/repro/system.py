@@ -15,6 +15,7 @@ reset.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Optional
 
 import numpy as np
 
@@ -25,6 +26,34 @@ class AdaptiveSystem(ABC):
     @abstractmethod
     def process(self, x: np.ndarray, y: int) -> int:
         """Predict ``x``, then learn ``(x, y)``; return the prediction."""
+
+    def process_chunk(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        state_ids_out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Process a chunk of observations prequentially; return predictions.
+
+        Semantically identical to calling :meth:`process` row by row —
+        every prediction is made before learning from that observation
+        and reflects everything learned from the rows before it.  When
+        ``state_ids_out`` (an int64 array of the chunk length) is
+        given, it receives the post-observation :attr:`active_state_id`
+        per row, matching what a per-observation harness would log.
+
+        The default loops; systems may override with a vectorised
+        implementation as long as the per-observation equivalence is
+        preserved exactly (predictions, drift decisions, state ids).
+        """
+        X = np.asarray(X)
+        y = np.asarray(y)
+        predictions = np.empty(len(y), dtype=np.int64)
+        for i in range(len(y)):
+            predictions[i] = self.process(X[i], int(y[i]))
+            if state_ids_out is not None:
+                state_ids_out[i] = self.active_state_id
+        return predictions
 
     @property
     @abstractmethod

@@ -61,6 +61,33 @@ class ArrayRing:
         self._buf[pos + self.size] = value
         self._n += 1
 
+    def extend(self, values: np.ndarray) -> None:
+        """Append a block of items with at most four slice writes.
+
+        Equivalent to ``for v in values: self.append(v)`` but the ring
+        positions are filled with vectorised slice assignments (split
+        at the wrap point) instead of per-item writes.
+        """
+        values = np.asarray(values, dtype=self._buf.dtype)
+        m = values.shape[0]
+        if m == 0:
+            return
+        if m > self.size:
+            # Only the trailing window survives; the counter still
+            # advances by the full block length.
+            self._n += m - self.size
+            values = values[m - self.size :]
+            m = self.size
+        pos = self._n % self.size
+        first = min(m, self.size - pos)
+        self._buf[pos : pos + first] = values[:first]
+        self._buf[pos + self.size : pos + self.size + first] = values[:first]
+        rest = m - first
+        if rest:
+            self._buf[:rest] = values[first:]
+            self._buf[self.size : self.size + rest] = values[first:]
+        self._n += m
+
     def clear(self) -> None:
         self._n = 0
 
@@ -100,6 +127,14 @@ class ObservationWindow:
         self._x.append(x)
         self._y.append(y)
         self._p.append(prediction)
+
+    def extend(
+        self, xs: np.ndarray, ys: np.ndarray, predictions: np.ndarray
+    ) -> None:
+        """Append a block of observations (chunked-engine fast path)."""
+        self._x.extend(xs)
+        self._y.extend(ys)
+        self._p.extend(predictions)
 
     def clear(self) -> None:
         self._x.clear()

@@ -1,0 +1,168 @@
+"""Chunked stream engine: exact equivalence with per-observation runs.
+
+``Ficsum.process_chunk`` and the ``prequential_run(chunk_size=...)``
+fast path are pure execution restructurings — these tests assert that
+predictions, drift points, state-id traces and every reported metric
+are identical to the per-observation path on seeded streams, for
+ADWIN-detected and oracle drifts alike, across chunk sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classifiers import HoeffdingTree
+from repro.core import FicsumConfig
+from repro.core.variants import make_ficsum
+from repro.evaluation.metrics import ConfusionMatrix
+from repro.evaluation.prequential import prequential_run
+from repro.streams.datasets import make_dataset
+from repro.system import AdaptiveSystem
+
+ROLLING = [
+    "mean",
+    "std",
+    "skew",
+    "kurtosis",
+    "autocorrelation",
+    "partial_autocorrelation",
+    "turning_point_rate",
+]
+
+
+def build(seed=5, oracle=False, metafeatures=ROLLING, dataset="RBF", segment=200):
+    cfg = FicsumConfig(
+        window_size=30,
+        fingerprint_period=5,
+        repository_period=15,
+        grace_period=25,
+        drift_warmup_windows=1.0,
+        oracle_drift=oracle,
+        metafeatures=metafeatures,
+    )
+    stream = make_dataset(dataset, seed=seed, segment_length=segment, n_repeats=2)
+    system = make_ficsum(stream.meta.n_features, stream.meta.n_classes, cfg)
+    return system, stream
+
+
+def assert_runs_equal(a, b):
+    assert a.n_observations == b.n_observations
+    assert a.accuracy == b.accuracy
+    assert a.kappa == b.kappa
+    assert a.c_f1 == b.c_f1
+    assert a.n_drifts == b.n_drifts
+    assert a.n_states == b.n_states
+    assert a.concept_ids == b.concept_ids
+    assert a.state_ids == b.state_ids
+    assert a.discrimination == b.discrimination
+
+
+@pytest.mark.parametrize("chunk_size", [1, 53, 500])
+def test_prequential_chunked_equals_per_observation(chunk_size):
+    sys_ref, stream_ref = build()
+    sys_chk, stream_chk = build()
+    ref = prequential_run(sys_ref, stream_ref)
+    chk = prequential_run(sys_chk, stream_chk, chunk_size=chunk_size)
+    assert_runs_equal(ref, chk)
+    assert sys_ref.drift_points == sys_chk.drift_points
+    assert sys_ref.n_drifts_detected >= 1  # drifts actually happened
+
+
+def test_prequential_chunked_oracle_equals_per_observation():
+    """Oracle signals fire at the same timesteps on the chunked path."""
+    sys_ref, stream_ref = build(oracle=True)
+    sys_chk, stream_chk = build(oracle=True)
+    ref = prequential_run(sys_ref, stream_ref, oracle_drift=True)
+    chk = prequential_run(sys_chk, stream_chk, oracle_drift=True, chunk_size=100)
+    assert_runs_equal(ref, chk)
+    assert sys_ref.drift_points == sys_chk.drift_points
+    assert len(sys_ref.drift_points) >= 3
+
+
+def test_prequential_chunked_full_metafeature_set():
+    sys_ref, stream_ref = build(seed=2, metafeatures=None)
+    sys_chk, stream_chk = build(seed=2, metafeatures=None)
+    ref = prequential_run(sys_ref, stream_ref, max_observations=500)
+    chk = prequential_run(sys_chk, stream_chk, max_observations=500, chunk_size=77)
+    assert_runs_equal(ref, chk)
+
+
+def test_prequential_chunked_respects_max_observations():
+    sys_chk, stream_chk = build()
+    chk = prequential_run(sys_chk, stream_chk, max_observations=137, chunk_size=50)
+    assert chk.n_observations == 137
+    assert len(chk.state_ids) == 137
+
+
+def test_process_chunk_matches_process_directly():
+    """Raw process_chunk vs process, including the state-id trace."""
+    sys_ref, stream = build(seed=9)
+    sys_chk, _ = build(seed=9)
+    data = [(x, y) for x, y, _ in stream]
+    X = np.stack([x for x, _ in data])
+    Y = np.array([y for _, y in data], dtype=np.int64)
+
+    ref_preds = np.empty(len(Y), dtype=np.int64)
+    ref_sids = np.empty(len(Y), dtype=np.int64)
+    for i in range(len(Y)):
+        ref_preds[i] = sys_ref.process(X[i], int(Y[i]))
+        ref_sids[i] = sys_ref.active_state_id
+
+    chk_preds = np.empty(len(Y), dtype=np.int64)
+    chk_sids = np.empty(len(Y), dtype=np.int64)
+    for start in range(0, len(Y), 83):
+        stop = min(start + 83, len(Y))
+        out = np.empty(stop - start, dtype=np.int64)
+        chk_preds[start:stop] = sys_chk.process_chunk(
+            X[start:stop], Y[start:stop], state_ids_out=out
+        )
+        chk_sids[start:stop] = out
+
+    assert np.array_equal(ref_preds, chk_preds)
+    assert np.array_equal(ref_sids, chk_sids)
+    assert sys_ref.drift_points == sys_chk.drift_points
+    assert sys_ref._step == sys_chk._step
+
+
+def test_default_process_chunk_loops_process():
+    """Systems without an override ride the base-class loop."""
+
+    class TreeSystem(AdaptiveSystem):
+        def __init__(self):
+            self.tree = HoeffdingTree(2, 3, grace_period=20, seed=4)
+
+        def process(self, x, y):
+            prediction = self.tree.predict(x)
+            self.tree.learn(x, int(y))
+            return prediction
+
+        @property
+        def active_state_id(self):
+            return 0
+
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(400, 3))
+    Y = (X[:, 0] > 0).astype(np.int64)
+
+    ref = TreeSystem()
+    expected = np.array([ref.process(X[i], Y[i]) for i in range(len(Y))])
+    chk = TreeSystem()
+    sids = np.empty(len(Y), dtype=np.int64)
+    got = chk.process_chunk(X, Y, state_ids_out=sids)
+    assert np.array_equal(expected, got)
+    assert np.all(sids == 0)
+
+
+def test_confusion_update_many_matches_update():
+    rng = np.random.default_rng(8)
+    y_true = rng.integers(0, 4, size=300)
+    y_pred = rng.integers(0, 4, size=300)
+    a = ConfusionMatrix(4)
+    b = ConfusionMatrix(4)
+    for t, p in zip(y_true, y_pred):
+        a.update(int(t), int(p))
+    b.update_many(y_true, y_pred)
+    assert np.array_equal(a.matrix, b.matrix)
+    assert a.accuracy == b.accuracy
+    assert a.kappa == b.kappa

@@ -1,0 +1,215 @@
+"""Shared-window partial extraction: exactness, caching, FiCSUM wiring.
+
+The model-selection hot path relies on three facts pinned here:
+
+* ``extract_shared`` + ``extract_partial`` reproduce ``extract``
+  bit-for-bit, for every source set;
+* only the dimensions flagged ``classifier_dependent`` vary across
+  candidate classifiers (the shared part really is shared);
+* FiCSUM's model selection / re-check / repository step compute the
+  classifier-independent dimensions exactly once per window (spy test)
+  and behave identically with the cache disabled.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.classifiers import HoeffdingTree
+from repro.core import FicsumConfig
+from repro.core.variants import make_ficsum
+from repro.evaluation.prequential import prequential_run
+from repro.metafeatures import FingerprintPipeline, WindowExtractionCache
+from repro.registry import METAFEATURES
+from repro.streams.datasets import make_dataset
+
+W, D = 75, 6
+
+
+@pytest.fixture(scope="module")
+def window():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(W, D))
+    ys = rng.integers(0, 2, size=W).astype(np.int64)
+    tree = HoeffdingTree(2, D, grace_period=30, seed=1)
+    for i in range(400):
+        x = rng.normal(size=D)
+        tree.learn(x, int(x[0] > 0))
+    preds = tree.predict_batch(X)
+    return X, ys, preds, tree
+
+
+@pytest.mark.parametrize("source_set", ["all", "supervised", "unsupervised", "error_rate"])
+def test_partial_extraction_equals_full(window, source_set):
+    X, ys, preds, tree = window
+    # Separate pipelines so both paths consume identical fresh rng
+    # streams (the permutation importance draws from the pipeline rng).
+    full = FingerprintPipeline(D, source_set=source_set).extract(X, ys, preds, tree)
+    partial = FingerprintPipeline(D, source_set=source_set).extract_partial(
+        X, ys, preds, tree
+    )
+    assert np.array_equal(full, partial)
+
+
+def test_partial_with_shared_equals_full(window):
+    X, ys, preds, tree = window
+    full = FingerprintPipeline(D).extract(X, ys, preds, tree)
+    pipe = FingerprintPipeline(D)
+    shared = pipe.extract_shared(X, ys)
+    assert np.array_equal(full, pipe.extract_partial(X, ys, preds, tree, shared=shared))
+
+
+def test_shared_part_is_classifier_independent(window):
+    """Dims outside the dependent mask agree across candidate classifiers."""
+    X, ys, preds, tree = window
+    rng = np.random.default_rng(9)
+    other = HoeffdingTree(2, D, grace_period=30, seed=77)
+    for i in range(400):
+        x = rng.normal(size=D)
+        other.learn(x, int(x[1] > 0))
+    other_preds = other.predict_batch(X)
+    assert not np.array_equal(preds, other_preds)
+
+    fp_a = FingerprintPipeline(D).extract(X, ys, preds, tree)
+    fp_b = FingerprintPipeline(D).extract(X, ys, other_preds, other)
+    mask = FingerprintPipeline(D).schema.classifier_dependent
+    assert np.array_equal(fp_a[~mask], fp_b[~mask])
+    assert not np.array_equal(fp_a[mask], fp_b[mask])
+
+
+def test_shared_fills_only_independent_dims(window):
+    X, ys, _, _ = window
+    pipe = FingerprintPipeline(D)
+    shared = pipe.extract_shared(X, ys)
+    mask = pipe.schema.classifier_dependent
+    assert np.all(shared[mask] == 0.0)
+    assert np.any(shared[~mask] != 0.0)
+
+
+def test_batch_scalar_cached_matches_batch_scalar():
+    """The memoised scalar path returns batch_scalar values exactly."""
+    rng = np.random.default_rng(4)
+    sequences = [
+        rng.normal(size=60),
+        rng.integers(1, 9, size=40).astype(np.float64),  # gap-like ties
+        np.array([3.0]),
+        np.array([2.0, 5.0]),
+        np.array([1.0, 4.0, 2.0]),
+        np.zeros(30),
+    ]
+    for seq in sequences:
+        cache: dict = {}
+        for component in METAFEATURES.values():
+            assert component.batch_scalar_cached(seq, cache) == component.batch_scalar(seq)
+
+
+def test_window_extraction_cache_counters(window):
+    X, ys, preds, tree = window
+    pipe = FingerprintPipeline(D)
+    cache = WindowExtractionCache(pipe)
+    reference = FingerprintPipeline(D)
+
+    fp1 = cache.extract(10, X, ys, preds, tree)
+    fp2 = cache.extract(10, X, ys, preds, tree)
+    assert cache.n_shared_computes == 1
+    assert cache.n_partial_extracts == 2
+    # The cache replays the exact sequence two full extractions would
+    # produce (the permutation-importance rng advances per call, so the
+    # reference must advance in lockstep).
+    assert np.array_equal(fp1, reference.extract(X, ys, preds, tree))
+    assert np.array_equal(fp2, reference.extract(X, ys, preds, tree))
+
+    cache.extract(11, X, ys, preds, tree)
+    assert cache.n_shared_computes == 2
+    cache.invalidate()
+    cache.extract(11, X, ys, preds, tree)
+    assert cache.n_shared_computes == 3
+
+
+ROLLING = [
+    "mean",
+    "std",
+    "skew",
+    "kurtosis",
+    "autocorrelation",
+    "partial_autocorrelation",
+    "turning_point_rate",
+]
+
+
+def _ficsum_system(extraction_cache=True, seed=5):
+    cfg = FicsumConfig(
+        window_size=40,
+        fingerprint_period=4,
+        repository_period=20,
+        grace_period=30,
+        drift_warmup_windows=1.0,
+        oracle_drift=True,
+        metafeatures=ROLLING,
+        extraction_cache=extraction_cache,
+    )
+    stream = make_dataset("RBF", seed=seed, segment_length=150, n_repeats=2)
+    system = make_ficsum(stream.meta.n_features, stream.meta.n_classes, cfg)
+    return system, stream
+
+
+def test_ficsum_computes_shared_dims_once_per_window():
+    """Spy test for the acceptance criterion: model selection and the
+    repository step never run full extraction, and the classifier-
+    independent dimensions are computed exactly once per window even
+    when many candidate states fingerprint it."""
+    system, stream = _ficsum_system()
+    pipe = system.pipeline
+    calls = {"full": 0, "shared": 0, "keys": []}
+
+    original_extract = pipe.extract
+    original_shared = pipe.extract_shared
+
+    def spy_extract(*args, **kwargs):
+        calls["full"] += 1
+        return original_extract(*args, **kwargs)
+
+    def spy_shared(*args, **kwargs):
+        calls["shared"] += 1
+        return original_shared(*args, **kwargs)
+
+    pipe.extract = spy_extract
+    pipe.extract_shared = spy_shared
+    cache = system._extract_cache
+    original_cache_extract = cache.extract
+
+    def spy_cache_extract(key, *args, **kwargs):
+        calls["keys"].append(key)
+        return original_cache_extract(key, *args, **kwargs)
+
+    cache.extract = spy_cache_extract
+
+    prequential_run(system, stream, oracle_drift=True)
+
+    assert len(system.repository) >= 2  # several candidate states existed
+    assert calls["keys"], "model selection / repository step never ran"
+    # Full extraction is gone from the hot path entirely.
+    assert calls["full"] == 0
+    # The shared (classifier-independent) part: exactly once per window.
+    per_window = Counter(calls["keys"])
+    assert calls["shared"] == len(per_window)
+    assert cache.n_shared_computes == len(per_window)
+    # At least one window was fingerprinted by several states, which is
+    # precisely the redundancy the cache removes.
+    assert max(per_window.values()) >= 2
+    assert cache.n_partial_extracts == len(calls["keys"])
+
+
+def test_ficsum_cache_disabled_is_equivalent():
+    """The cache is an execution detail: identical run either way."""
+    sys_on, stream_on = _ficsum_system(extraction_cache=True)
+    sys_off, stream_off = _ficsum_system(extraction_cache=False)
+    r_on = prequential_run(sys_on, stream_on, oracle_drift=True)
+    r_off = prequential_run(sys_off, stream_off, oracle_drift=True)
+    assert r_on.accuracy == r_off.accuracy
+    assert r_on.state_ids == r_off.state_ids
+    assert sys_on.drift_points == sys_off.drift_points
+    assert sys_off._extract_cache is None
