@@ -67,14 +67,23 @@ def _record_grid(grid) -> None:
     _GRID_LOG.append(grid)
 
 
-def save_bench_json(name: str, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+def save_bench_json(
+    name: str,
+    extra: Optional[Dict[str, Any]] = None,
+    repo_states: Optional[int] = None,
+    selection_events: Optional[int] = None,
+) -> Dict[str, Any]:
     """Write ``results/BENCH_<name>.json`` with the bench's perf facts.
 
     Consumes every grid executed since the previous call, so each bench
     reports its own wall time, cells run vs served from the artifact
     cache, and executed-observation throughput.  ``extra`` merges
     bench-specific measurements (e.g. batch-vs-incremental ratios) into
-    the payload.
+    the payload.  ``repo_states`` / ``selection_events`` record the
+    repository size and the number of model-selection events behind the
+    measurements, so regression checks can confirm a baseline and a
+    fresh run exercised like-for-like workloads (selection cost scales
+    with the number of stored concepts, not just observations).
     """
     grids, _GRID_LOG[:] = list(_GRID_LOG), []
     wall = sum(g.wall_time_s for g in grids)
@@ -100,6 +109,10 @@ def save_bench_json(name: str, extra: Optional[Dict[str, Any]] = None) -> Dict[s
         "workers": WORKERS,
         "python": platform.python_version(),
     }
+    if repo_states is not None:
+        payload["repo_states"] = int(repo_states)
+    if selection_events is not None:
+        payload["selection_events"] = int(selection_events)
     if extra:
         payload.update(extra)
     # Benches that measure outside the engine (no grids) report their

@@ -6,8 +6,9 @@ re-labels the window with R candidate classifiers):
 
 * **legacy** — the pre-PR shape, faithfully emulated: no shared-window
   extraction cache (every candidate pays a full extraction), the
-  per-row Python ``predict_batch`` loop, and the pre-PR extraction
-  kernels (``np.histogram2d`` mutual information, ``np.unique`` EMD
+  per-row Python ``predict_batch`` loop, the per-state selection
+  scoring loop (``vectorized_selection`` off), and the pre-PR
+  extraction kernels (``np.histogram2d`` mutual information, ``np.unique`` EMD
   envelopes, one EMD per IMF-entropy component on the error-distance
   source, one ``predict_batch`` call per feature in the permutation
   importance),
@@ -174,6 +175,7 @@ def run_mode(mode: str, metafeatures):
         track_discrimination=True,
         metafeatures=metafeatures,
         extraction_cache=(mode != "legacy"),
+        vectorized_selection=(mode != "legacy"),
     )
     stream = build_stream()
     system = make_ficsum(stream.meta.n_features, stream.meta.n_classes, cfg)
@@ -202,6 +204,7 @@ def run_throughput() -> dict:
                 "accuracy": round(result.accuracy, 6),
                 "n_drifts": result.n_drifts,
                 "repository_states": len(system.repository),
+                "selection_events": system.selection_events,
             }
         # All three execution paths must be the same run, observation
         # for observation — the speedup is engineering, not behaviour.
@@ -265,6 +268,8 @@ def test_system_throughput(benchmark):
             "observations_per_sec": full["chunked"]["obs_per_sec"],
             "modes": results,
         },
+        repo_states=full["chunked"]["repository_states"],
+        selection_events=full["chunked"]["selection_events"],
     )
     # The PR's acceptance bar: >= 3x end-to-end over the pre-PR
     # per-observation path on the full Table I set, with a repository

@@ -47,6 +47,16 @@ def check_bench(
 ) -> list:
     baseline = json.loads(baseline_path.read_text())
     current = json.loads(current_path.read_text())
+    # Repository-size metadata: absolute throughput is only comparable
+    # between runs that exercised the same repository workload, so call
+    # out mismatches (scale differences legitimately change these).
+    for meta in ("repo_states", "selection_events"):
+        if meta in baseline and baseline.get(meta) != current.get(meta):
+            print(
+                f"  note: {meta} differs (baseline={baseline[meta]} "
+                f"current={current.get(meta)}); obs/sec comparison is "
+                f"not like-for-like"
+            )
     current_metrics = dict(iter_metrics(current))
     failures = []
     for path, base_value in iter_metrics(baseline):
@@ -79,7 +89,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--benches",
         nargs="+",
-        default=["fingerprint_throughput", "system_throughput"],
+        default=[
+            "fingerprint_throughput",
+            "system_throughput",
+            "selection_throughput",
+        ],
     )
     parser.add_argument("--tolerance", type=float, default=0.30)
     args = parser.parse_args(argv)

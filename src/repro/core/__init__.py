@@ -12,7 +12,12 @@
 from repro.core.config import FicsumConfig
 from repro.core.fingerprint import ConceptFingerprint
 from repro.core.similarity import similarity, weighted_cosine_similarity
-from repro.core.repository import ConceptState, Repository
+from repro.core.repository import (
+    ConceptState,
+    FingerprintMatrix,
+    Repository,
+    RepositoryFullError,
+)
 from repro.core.ficsum import Ficsum
 from repro.core.delayed_labels import DelayedLabelAdapter
 from repro.core.variants import (
@@ -29,7 +34,9 @@ __all__ = [
     "similarity",
     "weighted_cosine_similarity",
     "ConceptState",
+    "FingerprintMatrix",
     "Repository",
+    "RepositoryFullError",
     "Ficsum",
     "DelayedLabelAdapter",
     "make_ficsum",

@@ -55,6 +55,17 @@ class FicsumConfig:
         turning O(R × full-extract) into O(full-extract +
         R × dependent-dims).  Bit-for-bit identical results; the switch
         exists for benchmarking the pre-cache cost.
+    vectorized_selection:
+        Score all repository candidates with batched kernels over the
+        contiguous :class:`~repro.core.repository.FingerprintMatrix`
+        (one scale + one matrix product instead of O(R) per-state
+        Python loops), with the dynamic weights read from matrix views
+        and re-expressed similarity records memoised per step.
+        Bit-for-bit identical runs — the batched path is only taken
+        when it is exactly equivalent to the sequential loop (it falls
+        back whenever a candidate fingerprint widens the normaliser's
+        observed range mid-selection); the switch exists for
+        benchmarking the pre-vectorization loop cost.
     weighting:
         "full" (paper), "sigma" (scale term only), "fisher"
         (discrimination term only) or "none" (plain cosine) — ablation.
@@ -104,6 +115,7 @@ class FicsumConfig:
     source_set: str = "all"
     incremental: bool = True
     extraction_cache: bool = True
+    vectorized_selection: bool = True
     weighting: str = "full"
     plasticity: bool = True
     second_selection: bool = True

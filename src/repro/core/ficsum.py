@@ -33,8 +33,8 @@ import numpy as np
 from repro.classifiers import HoeffdingTree
 from repro.classifiers.base import Classifier
 from repro.core.config import FicsumConfig
-from repro.core.repository import ConceptState, Repository
-from repro.core.similarity import similarity
+from repro.core.repository import ConceptState, Repository, rescale_record
+from repro.core.similarity import sim_fast, sim_pairs_many
 from repro.core.weighting import make_weights
 from repro.detectors import Adwin
 from repro.metafeatures import FingerprintPipeline, WindowExtractionCache
@@ -98,6 +98,17 @@ class Ficsum(AdaptiveSystem):
         self._classifier_seed = cfg.seed
         self._step = 0
         self._weights = np.ones(self.n_dims)
+        self._weights_version = 0
+        # Batched candidate scoring over the repository's contiguous
+        # fingerprint matrix (gated off for benchmarking the loop path).
+        self._vectorized = cfg.vectorized_selection
+        # Per-step memo of gated similarity records, keyed by everything
+        # a re-expression reads: the state's record version, the
+        # normaliser's range version and the weights version.
+        self._gated_cache: dict = {}
+        self._gated_cache_step = -1
+        #: Model-selection events run so far (bench/regression metadata).
+        self.selection_events = 0
         self._active = self.repository.new_state(
             self.n_dims, self._new_classifier(), step=0,
             sim_record_samples=cfg.sim_record_samples,
@@ -300,9 +311,26 @@ class Ficsum(AdaptiveSystem):
     # Step III-A: fingerprints, incorporation, drift detection
     # ------------------------------------------------------------------
     def _sim(self, raw_a: np.ndarray, raw_b: np.ndarray) -> float:
+        # Trusted kernel: both inputs are fingerprint vectors freshly
+        # scaled into [0, 1], so the validating wrapper is skipped.
         scaled_a = self.normalizer.scale(raw_a)
         scaled_b = self.normalizer.scale(raw_b)
-        return similarity(scaled_a, scaled_b, self._weights)
+        return sim_fast(scaled_a, scaled_b, self._weights)
+
+    def _refresh_weights(self) -> None:
+        """Recompute the dynamic weights (Step III-B).
+
+        The vectorized path reads all per-state statistics from the
+        repository's contiguous fingerprint matrix (identical values,
+        one batched scale per Fisher term).
+        """
+        cfg = self.config
+        matrix = self.repository.matrix() if self._vectorized else None
+        self._weights = make_weights(
+            cfg.weighting, self._active, self.repository.states(),
+            self.normalizer, matrix=matrix,
+        )
+        self._weights_version += 1
 
     def _fingerprint_step(self) -> None:
         cfg = self.config
@@ -334,9 +362,7 @@ class Ficsum(AdaptiveSystem):
         # (the cache is cleared on concept switches).
         fp_buffer = self._fa_cache.get(self._step - self._aligned_delay)
 
-        self._weights = make_weights(
-            cfg.weighting, self._active, self.repository.states(), self.normalizer
-        )
+        self._refresh_weights()
 
         if fp_buffer is not None:
             self._incorporate_buffer(fp_buffer)
@@ -412,11 +438,90 @@ class Ficsum(AdaptiveSystem):
     # ------------------------------------------------------------------
     # Step III-A (model selection) and Section IV mechanisms
     # ------------------------------------------------------------------
+    def _gated_key(self, state: ConceptState) -> Tuple[int, int, int]:
+        """Everything a record re-expression reads, as a memo key."""
+        return (
+            state.record_version,
+            self.normalizer.version,
+            self._weights_version,
+        )
+
     def _gated_record(self, state: ConceptState) -> Tuple[float, float]:
-        """Re-scaled (mu, sigma) with the numerical floor applied."""
+        """Re-scaled (mu, sigma) with the numerical floor applied.
+
+        Memoised per (state, step) on the vectorized path: the key
+        carries the record / normaliser-range / weights versions, so a
+        hit returns exactly what recomputation would.
+        """
+        if not self._vectorized:
+            mu, sigma = state.rescaled_similarity_record(self._sim)
+            floor = self.config.min_similarity_std * max(1.0, abs(mu))
+            return mu, max(sigma, floor)
+        cache = self._gated_cache_for_step()
+        key = self._gated_key(state)
+        hit = cache.get(state.state_id)
+        if hit is not None and hit[0] == key:
+            return hit[1], hit[2]
         mu, sigma = state.rescaled_similarity_record(self._sim)
         floor = self.config.min_similarity_std * max(1.0, abs(mu))
-        return mu, max(sigma, floor)
+        sigma = max(sigma, floor)
+        cache[state.state_id] = (key, mu, sigma)
+        return mu, sigma
+
+    def _gated_cache_for_step(self) -> dict:
+        """The gated-record memo, cleared at step boundaries."""
+        if self._gated_cache_step != self._step:
+            self._gated_cache.clear()
+            self._gated_cache_step = self._step
+        return self._gated_cache
+
+    def _gated_records_many(
+        self, states: List[ConceptState]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Gated (mu, sigma) arrays for many states in one batched call.
+
+        All retained sim-pairs of all memo-miss states are re-expressed
+        under the current weighting with a single scale + similarity
+        kernel; the per-state reductions then replay
+        :meth:`ConceptState.rescaled_similarity_record` exactly.
+        """
+        n = len(states)
+        mus = np.empty(n)
+        sigmas = np.empty(n)
+        cache = self._gated_cache_for_step()
+        misses = []
+        for i, state in enumerate(states):
+            key = self._gated_key(state)
+            hit = cache.get(state.state_id)
+            if hit is not None and hit[0] == key:
+                mus[i], sigmas[i] = hit[1], hit[2]
+            else:
+                pairs = state.sim_pairs.views()
+                misses.append((i, state, key, pairs))
+        if not misses:
+            return mus, sigmas
+        stacked_a = [p[0] for _, _, _, p in misses if len(p[2])]
+        stacked_b = [p[1] for _, _, _, p in misses if len(p[2])]
+        sims_all = np.empty(0)
+        if stacked_a:
+            scaled_a = self.normalizer.scale_many(np.concatenate(stacked_a))
+            scaled_b = self.normalizer.scale_many(np.concatenate(stacked_b))
+            sims_all = sim_pairs_many(scaled_a, scaled_b, self._weights)
+        univariate = self.n_dims == 1
+        min_std = self.config.min_similarity_std
+        offset = 0
+        for i, state, key, (_, _, old) in misses:
+            mu, sigma = state.sim_stats.mean, state.sim_stats.std
+            span = len(old)
+            if span:
+                sims = sims_all[offset : offset + span]
+                offset += span
+                mu, sigma = rescale_record(mu, sigma, sims, old, univariate)
+            floor = min_std * max(1.0, abs(mu))
+            sigma = max(sigma, floor)
+            mus[i], sigmas[i] = mu, sigma
+            cache[state.state_id] = (key, mu, sigma)
+        return mus, sigmas
 
     def _candidate_states(self) -> List[ConceptState]:
         return [
@@ -462,11 +567,49 @@ class Ficsum(AdaptiveSystem):
         """Pick the stored concept that explains the active window, if any."""
         if not self.window.full:
             return None
-        cfg = self.config
+        self.selection_events += 1
         xa, ya, _ = self.window.arrays()
+        candidates = self._candidate_states()
+        if not candidates:
+            return None
+        fps = self._stack_window_fingerprints(xa, ya, candidates)
+        return self._select_from_fingerprints(candidates, fps)
+
+    def _stack_window_fingerprints(
+        self, xa: np.ndarray, ya: np.ndarray, states: List[ConceptState]
+    ) -> np.ndarray:
+        """(R, D) stack of the window's fingerprint under each candidate.
+
+        The per-state classifier fan-out (``predict_batch`` plus the
+        dependent-dimension extraction) is the one remaining
+        per-candidate cost; everything downstream runs on this stack.
+        """
+        fps = np.empty((len(states), self.n_dims))
+        for i, state in enumerate(states):
+            fps[i] = self._window_fingerprint(xa, ya, state)
+        return fps
+
+    def _select_from_fingerprints(
+        self, states: List[ConceptState], fps: np.ndarray
+    ) -> Optional[ConceptState]:
+        """Gates + argmax over stacked candidate fingerprints.
+
+        The batched path — one scale and one similarity kernel over
+        the repository matrix rows, gates applied as boolean masks —
+        is taken only when every stacked fingerprint lies inside the
+        normaliser's observed ranges, which makes scoring against the
+        final extrema *exactly* the sequential update-then-score loop.
+        Otherwise (a range widened mid-selection, or
+        ``vectorized_selection`` off) the per-state loop runs.
+        """
+        cfg = self.config
+        if self._vectorized and self.normalizer.contains(fps):
+            sims, accepted = self._score_candidates(states, fps)
+            if not accepted.any():
+                return None
+            return states[int(np.argmax(np.where(accepted, sims, -np.inf)))]
         best: Optional[Tuple[float, ConceptState]] = None
-        for state in self._candidate_states():
-            fp = self._window_fingerprint(xa, ya, state)
+        for state, fp in zip(states, fps):
             self.normalizer.update(fp)
             sim = self._sim(state.fingerprint.means, fp)
             mu, sigma = self._gated_record(state)
@@ -476,6 +619,36 @@ class Ficsum(AdaptiveSystem):
                 if best is None or sim > best[0]:
                     best = (sim, state)
         return best[1] if best else None
+
+    def _score_candidates(
+        self, states: List[ConceptState], fps: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched similarities + acceptance mask for candidate states.
+
+        One ``scale_many`` over the matrix rows and the fingerprint
+        stack, one paired similarity kernel, one batched record
+        re-expression — no per-state Python round-trips.
+        """
+        matrix = self.repository.matrix()
+        rows = [matrix.row_of(s.state_id) for s in states]
+        scaled_means = self.normalizer.scale_many(matrix.fp_means_view[rows])
+        scaled_fps = self.normalizer.scale_many(fps)
+        sims = sim_pairs_many(scaled_means, scaled_fps, self._weights)
+        mus, sigmas = self._gated_records_many(states)
+        accepted = np.abs(sims - mus) <= self.config.similarity_gate * sigmas
+        if accepted.any():
+            accepted &= self._error_gate_mask(states, fps)
+        return sims, accepted
+
+    def _error_gate_mask(
+        self, states: List[ConceptState], fps: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`_error_gate` as a boolean mask over the stack."""
+        return np.fromiter(
+            (self._error_gate(state, fp) for state, fp in zip(states, fps)),
+            dtype=bool,
+            count=len(states),
+        )
 
     def _set_active(self, state: ConceptState) -> None:
         self._active = state
@@ -487,17 +660,31 @@ class Ficsum(AdaptiveSystem):
         self._freeze_streak = 0
         self.detector = self._new_detector()
 
+    def _new_concept_state(self) -> ConceptState:
+        """A fresh stored concept; eviction protects the active state.
+
+        With a capacity-one repository the old active *must* be the
+        eviction victim (the switch retires it anyway), so protection
+        only applies when another state can take the hit.
+        """
+        cfg = self.config
+        protect = (
+            (self._active.state_id,) if cfg.max_repository_size > 1 else ()
+        )
+        return self.repository.new_state(
+            self.n_dims,
+            self._new_classifier(),
+            step=self._step,
+            sim_record_samples=cfg.sim_record_samples,
+            sim_record_decay=cfg.sim_record_decay,
+            protect=protect,
+        )
+
     def _on_drift(self) -> None:
         self.drift_points.append(self._step)
         selected = self._model_select()
         if selected is None:
-            new_state = self.repository.new_state(
-                self.n_dims,
-                self._new_classifier(),
-                step=self._step,
-                sim_record_samples=self.config.sim_record_samples,
-                sim_record_decay=self.config.sim_record_decay,
-            )
+            new_state = self._new_concept_state()
             self._created_at_drift = new_state.state_id
             self._set_active(new_state)
         else:
@@ -536,14 +723,7 @@ class Ficsum(AdaptiveSystem):
         self._created_at_drift = None
         if selected is None:
             if not self._active_matches_window():
-                new_state = self.repository.new_state(
-                    self.n_dims,
-                    self._new_classifier(),
-                    step=self._step,
-                    sim_record_samples=self.config.sim_record_samples,
-                    sim_record_decay=self.config.sim_record_decay,
-                )
-                self._set_active(new_state)
+                self._set_active(self._new_concept_state())
             return
         if selected.state_id == self._active.state_id:
             return
@@ -568,18 +748,21 @@ class Ficsum(AdaptiveSystem):
         if not others:
             return
         xa, ya, _ = self.window.arrays()
-        other_sims: List[float] = []
-        for state in others:
-            fp = self._window_fingerprint(xa, ya, state)
-            self.normalizer.update(fp)
-            state.nonactive.incorporate(fp)
-            if self.config.track_discrimination and state.sim_stats.count >= 2:
-                mu, sigma = self._gated_record(state)
-                sim = self._sim(state.fingerprint.means, fp)
-                other_sims.append((sim - mu) / sigma)
+        fps = self._stack_window_fingerprints(xa, ya, others)
+        if self._vectorized and self.normalizer.contains(fps):
+            other_sims = self._repository_scores_batch(others, fps)
+        else:
+            other_sims = []
+            for state, fp in zip(others, fps):
+                self.normalizer.update(fp)
+                state.nonactive.incorporate(fp)
+                if self.config.track_discrimination and state.sim_stats.count >= 2:
+                    mu, sigma = self._gated_record(state)
+                    sim = self._sim(state.fingerprint.means, fp)
+                    other_sims.append((sim - mu) / sigma)
         if (
             self.config.track_discrimination
-            and other_sims
+            and len(other_sims)
             and self._active.fingerprint.count >= 2
             and self._active.sim_stats.count >= 2
         ):
@@ -590,6 +773,35 @@ class Ficsum(AdaptiveSystem):
             self.discrimination_samples.append(
                 float(z_active - np.mean(other_sims))
             )
+
+    def _repository_scores_batch(
+        self, others: List[ConceptState], fps: np.ndarray
+    ) -> np.ndarray:
+        """Batched non-active incorporation + discrimination z-scores.
+
+        Taken only when the stacked fingerprints lie inside the
+        normaliser's observed ranges (see
+        :meth:`_select_from_fingerprints`), where scoring against the
+        final extrema equals the sequential loop.
+        """
+        self.normalizer.update_many(fps)
+        for state, fp in zip(others, fps):
+            state.nonactive.incorporate(fp)
+        if not self.config.track_discrimination:
+            return np.empty(0)
+        recorded = np.array(
+            [s.sim_stats.count >= 2 for s in others], dtype=bool
+        )
+        if not recorded.any():
+            return np.empty(0)
+        tracked = [s for s, r in zip(others, recorded) if r]
+        matrix = self.repository.matrix()
+        rows = [matrix.row_of(s.state_id) for s in tracked]
+        scaled_means = self.normalizer.scale_many(matrix.fp_means_view[rows])
+        scaled_fps = self.normalizer.scale_many(fps[recorded])
+        sims = sim_pairs_many(scaled_means, scaled_fps, self._weights)
+        mus, sigmas = self._gated_records_many(tracked)
+        return (sims - mus) / sigmas
 
     def __repr__(self) -> str:
         return (

@@ -45,6 +45,11 @@ class ConceptFingerprint:
     def counts(self) -> np.ndarray:
         return self._stats.counts
 
+    @property
+    def version(self) -> int:
+        """Monotone change counter (for write-through matrix mirrors)."""
+        return self._stats.version
+
     def incorporate(self, fingerprint: np.ndarray) -> None:
         """Fold one window fingerprint into the concept representation."""
         fingerprint = np.asarray(fingerprint, dtype=np.float64)

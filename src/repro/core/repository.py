@@ -14,21 +14,117 @@ Each stored concept keeps
   similarity so that — as the normalisation and dynamic weights evolve
   — stale records can be re-expressed in the current scheme
   (Section IV of the paper).
+
+For the vectorized selection engine the repository additionally
+maintains a :class:`FingerprintMatrix`: a C-contiguous ``(R, D)``
+mirror of every state's fingerprint statistics, row-synced lazily via
+version-based dirty tracking, so model selection and the dynamic
+weights score all stored concepts with batched kernels instead of
+per-state Python loops.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
-
-from collections import deque
 
 from repro.classifiers.base import Classifier
 from repro.core.fingerprint import ConceptFingerprint
 from repro.utils.stats import EwmaStats
 
 SimFn = Callable[[np.ndarray, np.ndarray], float]
+
+
+class RepositoryFullError(RuntimeError):
+    """Raised when eviction is required but every state is protected."""
+
+
+def rescale_record(
+    mu: float,
+    sigma: float,
+    sims: np.ndarray,
+    old_sims: np.ndarray,
+    univariate: bool,
+) -> Tuple[float, float]:
+    """Move a recorded (mu, sigma) by re-scored retained pairs.
+
+    The one reduction behind every record re-expression (Section IV) —
+    the scalar :meth:`ConceptState.rescaled_similarity_record` and the
+    framework's batched path both call it, so the clip bounds and
+    fallbacks cannot drift apart.  ``sims`` are the retained pairs'
+    similarities under the *current* scheme, ``old_sims`` the values
+    recorded when the pairs were written (aligned, logical order).
+    Bounded (cosine) similarities shift additively under a weighting
+    change, so the record moves by the mean difference; the unbounded
+    univariate (ER) similarity scales multiplicatively, so it moves by
+    the mean ratio (clipped for safety).
+    """
+    if univariate:
+        keep = np.abs(old_sims) >= 1e-12
+        if not keep.any():
+            return mu, sigma
+        ratio = float(np.clip(np.mean(sims[keep] / old_sims[keep]), 0.2, 5.0))
+        if not np.isfinite(ratio):
+            return mu, sigma
+        return mu * ratio, sigma * ratio
+    delta = float(np.clip(np.mean(sims - old_sims), -0.5, 0.5))
+    if not np.isfinite(delta):
+        return mu, sigma
+    return mu + delta, sigma
+
+
+class SimPairRecord:
+    """Fixed-capacity ring of retained ``(F_c, F_B, sim)`` observations.
+
+    Replaces the per-state ``deque`` of tuples with three preallocated
+    arrays so that re-expressing stale similarity records under the
+    current weighting (Section IV) can batch over all retained pairs of
+    all candidates in one kernel call.  :meth:`views` returns the pairs
+    in logical (oldest-first) order — exactly the iteration order the
+    deque exposed — so order-sensitive reductions stay bit-identical.
+    """
+
+    __slots__ = ("capacity", "n_dims", "a", "b", "sims", "count", "_next")
+
+    def __init__(self, capacity: int, n_dims: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.n_dims = n_dims
+        self.a = np.empty((capacity, n_dims))
+        self.b = np.empty((capacity, n_dims))
+        self.sims = np.empty(capacity)
+        self.count = 0
+        self._next = 0
+
+    def append(self, a: np.ndarray, b: np.ndarray, sim: float) -> None:
+        if self.capacity == 0:
+            return
+        i = self._next
+        self.a[i] = a
+        self.b[i] = b
+        self.sims[i] = sim
+        self._next = (i + 1) % self.capacity
+        self.count = min(self.count + 1, self.capacity)
+
+    def views(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(A, B, sims)`` in logical oldest-first order."""
+        if self.count < self.capacity or self._next == 0:
+            return self.a[: self.count], self.b[: self.count], self.sims[: self.count]
+        idx = np.concatenate(
+            [np.arange(self._next, self.capacity), np.arange(self._next)]
+        )
+        return self.a[idx], self.b[idx], self.sims[idx]
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self):
+        """Tuples in logical order (the legacy deque's iteration view)."""
+        A, B, sims = self.views()
+        for i in range(self.count):
+            yield A[i], B[i], float(sims[i])
 
 
 class ConceptState:
@@ -56,54 +152,40 @@ class ConceptState:
         # Most recent fingerprint pairs with their recorded similarity:
         # re-evaluating them under the current weighting scheme measures
         # how the scheme has shifted since the record was written.
-        self.sim_pairs: deque = deque(maxlen=sim_record_samples)
+        self.sim_pairs = SimPairRecord(sim_record_samples, n_dims)
+        # Bumped whenever the similarity record changes — memoised
+        # re-expressions of the record key on it.
+        self.record_version = 0
         self.last_active_step = 0
 
     def record_similarity(
         self, concept_means: np.ndarray, window_fp: np.ndarray, sim: float
     ) -> None:
         """Log one stationary similarity observation and its pair."""
+        self.record_version += 1
         self.sim_stats.update(sim)
-        self.sim_pairs.append((concept_means.copy(), window_fp.copy(), sim))
+        self.sim_pairs.append(concept_means, window_fp, sim)
 
     def rescaled_similarity_record(self, sim_fn: SimFn) -> Tuple[float, float]:
         """Recorded (mu, sigma) re-expressed under the current scheme.
 
-        Recomputes the similarity of the retained fingerprint pairs with
-        the *current* weighting/normalisation and transforms the stored
-        record accordingly (Section IV).  Bounded (cosine) similarities
-        shift additively under a weighting change, so the record is
-        moved by the mean difference; the unbounded univariate (ER)
-        similarity scales multiplicatively, so it is moved by the mean
-        ratio (clipped for safety).  Falls back to the raw record when
-        no pairs are retained.
+        Re-scores the retained fingerprint pairs with the *current*
+        weighting/normalisation and moves the stored record through
+        :func:`rescale_record` (Section IV).  Falls back to the raw
+        record when no pairs are retained.
         """
         mu, sigma = self.sim_stats.mean, self.sim_stats.std
-        if not self.sim_pairs:
+        n = len(self.sim_pairs)
+        if not n:
             return mu, sigma
-        univariate = len(self.sim_pairs[0][0]) == 1
-        if univariate:
-            ratios = []
-            for concept_means, window_fp, old_sim in self.sim_pairs:
-                if abs(old_sim) < 1e-12:
-                    continue
-                ratios.append(sim_fn(concept_means, window_fp) / old_sim)
-            if not ratios:
-                return mu, sigma
-            ratio = float(np.clip(np.mean(ratios), 0.2, 5.0))
-            if not np.isfinite(ratio):
-                return mu, sigma
-            return mu * ratio, sigma * ratio
-        deltas = [
-            sim_fn(concept_means, window_fp) - old_sim
-            for concept_means, window_fp, old_sim in self.sim_pairs
-        ]
-        delta = float(np.clip(np.mean(deltas), -0.5, 0.5))
-        if not np.isfinite(delta):
-            return mu, sigma
-        return mu + delta, sigma
+        pairs_a, pairs_b, old_sims = self.sim_pairs.views()
+        sims = np.array([sim_fn(pairs_a[i], pairs_b[i]) for i in range(n)])
+        return rescale_record(
+            mu, sigma, sims, old_sims, self.sim_pairs.n_dims == 1
+        )
 
     def reset_similarity_record(self) -> None:
+        self.record_version += 1
         self.sim_stats = EwmaStats(alpha=self.sim_record_decay)
 
     def __repr__(self) -> str:
@@ -112,6 +194,151 @@ class ConceptState:
             f"fp_count={self.fingerprint.count}, "
             f"sim_n={self.sim_stats.count})"
         )
+
+
+class FingerprintMatrix:
+    """Write-through ``(R, D)`` mirror of per-state fingerprint statistics.
+
+    One C-contiguous row per stored concept, in repository insertion
+    order (so batched reductions see exactly the row order the
+    per-state loops iterate in): concept-fingerprint means / stds /
+    per-dimension counts plus non-active means / stds, and the scalar
+    incorporation counts that gate candidate masks.  Rows are re-pulled
+    lazily via :meth:`refresh`, which compares each state's fingerprint
+    ``version`` against the last synced value — an unchanged repository
+    costs an O(R) integer scan, an updated state one row copy.
+
+    Eviction compacts rows upward (order-preserving), so views stay
+    aligned with :meth:`Repository.states`.
+    """
+
+    _INITIAL_CAPACITY = 8
+
+    def __init__(self, n_dims: int) -> None:
+        self.n_dims = n_dims
+        self.n_rows = 0
+        self.state_ids: List[int] = []
+        self._row_of: Dict[int, int] = {}
+        self._row_states: List[ConceptState] = []
+        self._allocate(self._INITIAL_CAPACITY)
+
+    def _allocate(self, capacity: int) -> None:
+        d = self.n_dims
+        self.fp_means = np.zeros((capacity, d))
+        self.fp_stds = np.zeros((capacity, d))
+        self.fp_counts = np.zeros((capacity, d), dtype=np.int64)
+        self.fp_n = np.zeros(capacity, dtype=np.int64)
+        self.na_means = np.zeros((capacity, d))
+        self.na_stds = np.zeros((capacity, d))
+        self.na_n = np.zeros(capacity, dtype=np.int64)
+        self._fp_versions = np.full(capacity, -1, dtype=np.int64)
+        self._na_versions = np.full(capacity, -1, dtype=np.int64)
+
+    def _grow(self) -> None:
+        old = (
+            self.fp_means, self.fp_stds, self.fp_counts, self.fp_n,
+            self.na_means, self.na_stds, self.na_n,
+            self._fp_versions, self._na_versions,
+        )
+        self._allocate(2 * len(self.fp_n))
+        new = (
+            self.fp_means, self.fp_stds, self.fp_counts, self.fp_n,
+            self.na_means, self.na_stds, self.na_n,
+            self._fp_versions, self._na_versions,
+        )
+        n = self.n_rows
+        for src, dst in zip(old, new):
+            dst[:n] = src[:n]
+
+    # -- membership ----------------------------------------------------
+    def add(self, state: ConceptState) -> None:
+        if state.fingerprint.n_dims != self.n_dims:
+            raise ValueError(
+                f"state has {state.fingerprint.n_dims} dims, "
+                f"matrix holds {self.n_dims}"
+            )
+        if self.n_rows == len(self.fp_n):
+            self._grow()
+        r = self.n_rows
+        self.n_rows += 1
+        self.state_ids.append(state.state_id)
+        self._row_of[state.state_id] = r
+        self._row_states.append(state)
+        # Stale versions force the first refresh to pull the row.
+        self._fp_versions[r] = -1
+        self._na_versions[r] = -1
+
+    def remove(self, state_id: int) -> None:
+        r = self._row_of.pop(state_id, None)
+        if r is None:
+            return
+        n = self.n_rows
+        # Order-preserving compaction: shift trailing rows up one.
+        for arr in (
+            self.fp_means, self.fp_stds, self.fp_counts, self.fp_n,
+            self.na_means, self.na_stds, self.na_n,
+            self._fp_versions, self._na_versions,
+        ):
+            arr[r : n - 1] = arr[r + 1 : n]
+        del self.state_ids[r]
+        del self._row_states[r]
+        for sid in self.state_ids[r:]:
+            self._row_of[sid] -= 1
+        self.n_rows = n - 1
+
+    def row_of(self, state_id: int) -> int:
+        return self._row_of[state_id]
+
+    # -- synchronisation -----------------------------------------------
+    def refresh(self) -> None:
+        """Re-pull every row whose backing statistics changed."""
+        for r in range(self.n_rows):
+            state = self._row_states[r]
+            fp = state.fingerprint
+            if fp.version != self._fp_versions[r]:
+                self.fp_means[r] = fp.means
+                self.fp_stds[r] = fp.stds
+                self.fp_counts[r] = fp.counts
+                self.fp_n[r] = fp.count
+                self._fp_versions[r] = fp.version
+            na = state.nonactive
+            if na.version != self._na_versions[r]:
+                self.na_means[r] = na.means
+                self.na_stds[r] = na.stds
+                self.na_n[r] = na.count
+                self._na_versions[r] = na.version
+
+    # -- views (valid until the next add/remove) ------------------------
+    @property
+    def fp_means_view(self) -> np.ndarray:
+        return self.fp_means[: self.n_rows]
+
+    @property
+    def fp_stds_view(self) -> np.ndarray:
+        return self.fp_stds[: self.n_rows]
+
+    @property
+    def fp_counts_view(self) -> np.ndarray:
+        return self.fp_counts[: self.n_rows]
+
+    @property
+    def fp_n_view(self) -> np.ndarray:
+        return self.fp_n[: self.n_rows]
+
+    @property
+    def na_means_view(self) -> np.ndarray:
+        return self.na_means[: self.n_rows]
+
+    @property
+    def na_stds_view(self) -> np.ndarray:
+        return self.na_stds[: self.n_rows]
+
+    @property
+    def na_n_view(self) -> np.ndarray:
+        return self.na_n[: self.n_rows]
+
+    def __len__(self) -> int:
+        return self.n_rows
 
 
 class Repository:
@@ -123,6 +350,8 @@ class Repository:
         self.max_size = max_size
         self._states: Dict[int, ConceptState] = {}
         self._next_id = 0
+        self._matrix: Optional[FingerprintMatrix] = None
+        self._states_list: Optional[List[ConceptState]] = None
 
     def new_state(
         self,
@@ -131,8 +360,14 @@ class Repository:
         step: int,
         sim_record_samples: int = 4,
         sim_record_decay: float = 0.05,
+        protect: Iterable[int] = (),
     ) -> ConceptState:
-        """Create, store and return a fresh concept state."""
+        """Create, store and return a fresh concept state.
+
+        ``protect`` lists additional state ids that must survive any
+        eviction this insertion triggers (the framework passes the
+        currently active concept); the new state is always protected.
+        """
         state = ConceptState(
             self._next_id, n_dims, classifier, sim_record_samples,
             sim_record_decay,
@@ -140,26 +375,71 @@ class Repository:
         state.last_active_step = step
         self._states[state.state_id] = state
         self._next_id += 1
-        self._evict_if_needed(protect=state.state_id)
+        self._states_list = None
+        if self._matrix is not None:
+            if self._matrix.n_dims == n_dims:
+                self._matrix.add(state)
+            else:
+                # Mixed-dimension repositories have no matrix mirror.
+                self._matrix = None
+        self._evict_if_needed(protect={state.state_id, *protect})
         return state
 
-    def _evict_if_needed(self, protect: int) -> None:
+    def _evict_if_needed(self, protect: set) -> None:
         while len(self._states) > self.max_size:
-            victim = min(
-                (s for s in self._states.values() if s.state_id != protect),
-                key=lambda s: s.last_active_step,
-            )
-            del self._states[victim.state_id]
+            evictable = [
+                s for s in self._states.values() if s.state_id not in protect
+            ]
+            if not evictable:
+                raise RepositoryFullError(
+                    f"repository holds {len(self._states)} states "
+                    f"(max_size={self.max_size}) but every state is "
+                    f"protected ({sorted(protect)}); nothing can be evicted"
+                )
+            victim = min(evictable, key=lambda s: s.last_active_step)
+            self._drop(victim.state_id)
+
+    def _drop(self, state_id: int) -> None:
+        self._states.pop(state_id, None)
+        self._states_list = None
+        if self._matrix is not None:
+            self._matrix.remove(state_id)
 
     def get(self, state_id: int) -> ConceptState:
         return self._states[state_id]
 
     def remove(self, state_id: int) -> None:
-        self._states.pop(state_id, None)
+        self._drop(state_id)
 
     def states(self) -> List[ConceptState]:
-        """All stored states (insertion order)."""
-        return list(self._states.values())
+        """All stored states (insertion order).
+
+        The list is cached between membership changes so hot paths do
+        not rebuild it per call; treat it as read-only.
+        """
+        if self._states_list is None:
+            self._states_list = list(self._states.values())
+        return self._states_list
+
+    def matrix(self) -> FingerprintMatrix:
+        """The write-through fingerprint matrix, refreshed.
+
+        Built lazily on first use and maintained through membership
+        changes thereafter.  Requires a non-empty repository of
+        homogeneous fingerprint dimensionality.
+        """
+        if self._matrix is None:
+            dims = {s.fingerprint.n_dims for s in self._states.values()}
+            if len(dims) != 1:
+                raise ValueError(
+                    "fingerprint matrix needs a non-empty repository of "
+                    f"uniform dimensionality, got dims={sorted(dims)}"
+                )
+            self._matrix = FingerprintMatrix(dims.pop())
+            for state in self.states():
+                self._matrix.add(state)
+        self._matrix.refresh()
+        return self._matrix
 
     def __contains__(self, state_id: int) -> bool:
         return state_id in self._states

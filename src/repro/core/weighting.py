@@ -26,14 +26,14 @@ two Fisher terms are comparable across dimensions.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from repro.utils.stats import OnlineMinMax
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.repository import ConceptState
+    from repro.core.repository import ConceptState, FingerprintMatrix
 
 # Floor on per-dimension sigma (in the scaled [0, 1] fingerprint space)
 # and cap on any single weight.  Without a floor, near-constant
@@ -105,31 +105,84 @@ def intra_classifier_variation(
     return np.minimum(np.mean(ratios, axis=0), _WEIGHT_CAP)
 
 
+def inter_concept_variation_matrix(
+    matrix: "FingerprintMatrix", normalizer: OnlineMinMax
+) -> np.ndarray:
+    """``v_s`` from :class:`FingerprintMatrix` views.
+
+    Bit-for-bit :func:`inter_concept_variation`: the trained mask
+    preserves repository order, and ``scale_many`` applies exactly the
+    per-row arithmetic of ``scale``.
+    """
+    trained = matrix.fp_n_view >= 2
+    if int(trained.sum()) < 2:
+        return np.ones(normalizer.n_dims)
+    means = normalizer.scale_many(matrix.fp_means_view[trained])
+    stds = normalizer.scale_std_many(matrix.fp_stds_view[trained])
+    between = means.std(axis=0)
+    within = np.maximum(stds.max(axis=0), _SIGMA_EPS)
+    return np.minimum(between / within, _WEIGHT_CAP)
+
+
+def intra_classifier_variation_matrix(
+    matrix: "FingerprintMatrix", normalizer: OnlineMinMax
+) -> np.ndarray:
+    """``v_sc`` from :class:`FingerprintMatrix` views (bit-for-bit)."""
+    mask = (matrix.fp_n_view >= 2) & (matrix.na_n_view >= 2)
+    if not mask.any():
+        return np.ones(normalizer.n_dims)
+    mu_self = normalizer.scale_many(matrix.fp_means_view[mask])
+    mu_cross = normalizer.scale_many(matrix.na_means_view[mask])
+    sigma_cross = np.maximum(
+        normalizer.scale_std_many(matrix.na_stds_view[mask]), _SIGMA_EPS
+    )
+    ratios = np.abs(mu_self - mu_cross) / (2.0 * sigma_cross)
+    return np.minimum(np.mean(ratios, axis=0), _WEIGHT_CAP)
+
+
 def make_weights(
     mode: str,
     active_state: "ConceptState",
     states: List["ConceptState"],
     normalizer: OnlineMinMax,
+    matrix: Optional["FingerprintMatrix"] = None,
 ) -> np.ndarray:
     """The full dynamic weight vector ``w = w_sigma * max(v_s, v_sc)``.
 
     ``mode`` selects the ablation: "full", "sigma", "fisher" or "none".
     Cosine similarity is invariant to a global rescaling of the weight
-    vector, so no normalisation is applied.
+    vector, so no normalisation is applied.  When ``matrix`` is given
+    (a refreshed :class:`FingerprintMatrix` mirroring ``states``), the
+    Fisher terms and the active sigma term read its contiguous views
+    instead of looping the state list — identical values, one batched
+    scale per term.
     """
     n_dims = normalizer.n_dims
     if mode == "none":
         return np.ones(n_dims)
-    w_sigma = sigma_weights(
-        normalizer.scale_std(active_state.fingerprint.stds),
-        active_state.fingerprint.counts,
-    )
+    if matrix is not None:
+        row = matrix.row_of(active_state.state_id)
+        w_sigma = sigma_weights(
+            normalizer.scale_std(matrix.fp_stds_view[row]),
+            matrix.fp_counts_view[row],
+        )
+    else:
+        w_sigma = sigma_weights(
+            normalizer.scale_std(active_state.fingerprint.stds),
+            active_state.fingerprint.counts,
+        )
     if mode == "sigma":
         return w_sigma
-    w_d = np.maximum(
-        inter_concept_variation(states, normalizer),
-        intra_classifier_variation(states, normalizer),
-    )
+    if matrix is not None:
+        w_d = np.maximum(
+            inter_concept_variation_matrix(matrix, normalizer),
+            intra_classifier_variation_matrix(matrix, normalizer),
+        )
+    else:
+        w_d = np.maximum(
+            inter_concept_variation(states, normalizer),
+            intra_classifier_variation(states, normalizer),
+        )
     if mode == "fisher":
         return w_d
     return np.minimum(w_sigma * w_d, _WEIGHT_CAP)

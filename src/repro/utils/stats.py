@@ -161,6 +161,10 @@ class OnlineVectorStats:
         self.counts = np.zeros(n_dims, dtype=np.int64)
         self.means = np.zeros(n_dims, dtype=np.float64)
         self._m2 = np.zeros(n_dims, dtype=np.float64)
+        # Monotone change counter: write-through mirrors (the repository
+        # fingerprint matrix) compare it against their last synced value
+        # to re-pull only rows whose statistics actually moved.
+        self.version = 0
 
     def update(self, values: np.ndarray) -> None:
         """Fold one vector of observations into the running statistics."""
@@ -169,6 +173,7 @@ class OnlineVectorStats:
             raise ValueError(
                 f"expected shape ({self.n_dims},), got {values.shape}"
             )
+        self.version += 1
         self.counts += 1
         delta = values - self.means
         self.means += delta / self.counts
@@ -203,6 +208,7 @@ class OnlineVectorStats:
         collapse, which is not what fingerprint plasticity intends.
         """
         dims = np.asarray(dims, dtype=bool)
+        self.version += 1
         self.counts[dims] = 0
         if not keep_means:
             self.means[dims] = 0.0
@@ -213,6 +219,7 @@ class OnlineVectorStats:
         clone.counts = self.counts.copy()
         clone.means = self.means.copy()
         clone._m2 = self._m2.copy()
+        clone.version = self.version
         return clone
 
 
@@ -231,6 +238,10 @@ class OnlineMinMax:
         self.n_dims = n_dims
         self.mins = np.full(n_dims, np.inf)
         self.maxs = np.full(n_dims, -np.inf)
+        # Bumped whenever the observed range actually widens.  Scaled
+        # values are a pure function of (input, mins, maxs), so caches
+        # of scaled-space quantities stay valid while the version does.
+        self.version = 0
 
     @property
     def initialised(self) -> bool:
@@ -238,8 +249,36 @@ class OnlineMinMax:
 
     def update(self, values: np.ndarray) -> None:
         values = np.asarray(values, dtype=np.float64)
+        if np.any(values < self.mins) or np.any(values > self.maxs):
+            self.version += 1
         np.minimum(self.mins, values, out=self.mins)
         np.maximum(self.maxs, values, out=self.maxs)
+
+    def update_many(self, values: np.ndarray) -> None:
+        """Fold a batch of vectors (rows) into the running extrema.
+
+        Min/max are order-independent, so the resulting state is
+        identical to updating row by row.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        lo = values.min(axis=0)
+        hi = values.max(axis=0)
+        if np.any(lo < self.mins) or np.any(hi > self.maxs):
+            self.version += 1
+        np.minimum(self.mins, lo, out=self.mins)
+        np.maximum(self.maxs, hi, out=self.maxs)
+
+    def contains(self, values: np.ndarray) -> bool:
+        """True when every value lies inside the observed ranges.
+
+        Exactly the condition under which :meth:`update` /
+        :meth:`update_many` with ``values`` would be a no-op — batched
+        consumers use it to decide whether scoring against the *final*
+        extrema is equivalent to the sequential update-then-score loop.
+        """
+        return bool(np.all(values >= self.mins) and np.all(values <= self.maxs))
 
     def scale(self, values: np.ndarray) -> np.ndarray:
         """Map ``values`` into [0, 1] by the observed range, clipping.
@@ -262,6 +301,28 @@ class OnlineMinMax:
         out = np.zeros_like(stds)
         ok = (span > 0) & np.isfinite(span)
         out[ok] = stds[ok] / span[ok]
+        return out
+
+    def scale_many(self, values: np.ndarray) -> np.ndarray:
+        """:meth:`scale` applied to every row of a ``(r, n_dims)`` batch.
+
+        All operations are elementwise, so each output row is
+        bit-for-bit what :meth:`scale` returns for that row.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        span = self.maxs - self.mins
+        out = np.full(values.shape, 0.5)
+        ok = (span > 0) & np.isfinite(span)
+        out[:, ok] = (values[:, ok] - self.mins[ok]) / span[ok]
+        return np.clip(out, 0.0, 1.0)
+
+    def scale_std_many(self, stds: np.ndarray) -> np.ndarray:
+        """:meth:`scale_std` applied to every row of a batch (bit-equal)."""
+        stds = np.asarray(stds, dtype=np.float64)
+        span = self.maxs - self.mins
+        out = np.zeros(stds.shape)
+        ok = (span > 0) & np.isfinite(span)
+        out[:, ok] = stds[:, ok] / span[ok]
         return out
 
 
