@@ -93,6 +93,7 @@ def main(argv=None) -> int:
             "fingerprint_throughput",
             "system_throughput",
             "selection_throughput",
+            "forest_routing",
         ],
     )
     parser.add_argument("--tolerance", type=float, default=0.30)

@@ -66,6 +66,19 @@ class FicsumConfig:
         back whenever a candidate fingerprint widens the normaliser's
         observed range mid-selection); the switch exists for
         benchmarking the pre-vectorization loop cost.
+    forest_routing:
+        Evaluate the active window under *all* candidate classifiers in
+        one pass: the repository's
+        :class:`~repro.classifiers.bank.ClassifierBank` routes the
+        window through every stored Hoeffding tree simultaneously and
+        one :meth:`FingerprintPipeline.extract_partial_many` call
+        computes the classifier-dependent fingerprint dimensions for
+        the whole ``(R, W)`` prediction block, removing the last
+        per-candidate Python fan-out from selection events.
+        Bit-for-bit identical runs (same predictions, drift points,
+        state traces, discrimination samples); the switch exists for
+        benchmarking the per-state loop, which also remains the
+        fallback when a repository holds non-tree classifiers.
     weighting:
         "full" (paper), "sigma" (scale term only), "fisher"
         (discrimination term only) or "none" (plain cosine) — ablation.
@@ -116,6 +129,7 @@ class FicsumConfig:
     incremental: bool = True
     extraction_cache: bool = True
     vectorized_selection: bool = True
+    forest_routing: bool = True
     weighting: str = "full"
     plasticity: bool = True
     second_selection: bool = True

@@ -102,6 +102,11 @@ class Ficsum(AdaptiveSystem):
         # Batched candidate scoring over the repository's contiguous
         # fingerprint matrix (gated off for benchmarking the loop path).
         self._vectorized = cfg.vectorized_selection
+        # One-pass candidate evaluation: route the window through all
+        # stored trees via the repository's ClassifierBank and extract
+        # every candidate's dependent dims in one call (gated off for
+        # benchmarking the per-state fan-out).
+        self._forest_routing = cfg.forest_routing
         # Per-step memo of gated similarity records, keyed by everything
         # a re-expression reads: the state's record version, the
         # normaliser's range version and the weights version.
@@ -580,10 +585,30 @@ class Ficsum(AdaptiveSystem):
     ) -> np.ndarray:
         """(R, D) stack of the window's fingerprint under each candidate.
 
-        The per-state classifier fan-out (``predict_batch`` plus the
-        dependent-dimension extraction) is the one remaining
-        per-candidate cost; everything downstream runs on this stack.
+        On the forest-routing path the whole stack is three batched
+        calls — bank-route (one mask descent + one NB kernel over all
+        trees), shared extraction (once per window identity), and
+        ``extract_partial_many`` over the ``(R, W)`` prediction block —
+        with zero per-candidate Python iterations.  The per-state loop
+        (one ``predict_batch`` + one dependent-dims extraction each)
+        remains for benchmarking, and as the fallback for repositories
+        holding non-tree classifiers; both paths are bit-for-bit
+        identical.
         """
+        if self._forest_routing:
+            bank = self.repository.bank()
+            if bank is not None:
+                preds_block = bank.predict_batch_many(
+                    [s.state_id for s in states], xa
+                )
+                classifiers = [s.classifier for s in states]
+                if self._extract_cache is not None:
+                    return self._extract_cache.extract_many(
+                        self._step, xa, ya, preds_block, classifiers
+                    )
+                return self.pipeline.extract_partial_many(
+                    xa, ya, preds_block, classifiers
+                )
         fps = np.empty((len(states), self.n_dims))
         for i, state in enumerate(states):
             fps[i] = self._window_fingerprint(xa, ya, state)

@@ -20,7 +20,11 @@ maintains a :class:`FingerprintMatrix`: a C-contiguous ``(R, D)``
 mirror of every state's fingerprint statistics, row-synced lazily via
 version-based dirty tracking, so model selection and the dynamic
 weights score all stored concepts with batched kernels instead of
-per-state Python loops.
+per-state Python loops.  The forest-routing engine adds a sibling
+write-through mirror, the
+:class:`~repro.classifiers.bank.ClassifierBank`, which flattens every
+stored Hoeffding tree's routing tables so one pass evaluates the
+active window under all stored classifiers at once.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.classifiers.bank import ClassifierBank
 from repro.classifiers.base import Classifier
 from repro.core.fingerprint import ConceptFingerprint
 from repro.utils.stats import EwmaStats
@@ -351,6 +356,7 @@ class Repository:
         self._states: Dict[int, ConceptState] = {}
         self._next_id = 0
         self._matrix: Optional[FingerprintMatrix] = None
+        self._bank: Optional[ClassifierBank] = None
         self._states_list: Optional[List[ConceptState]] = None
 
     def new_state(
@@ -382,6 +388,12 @@ class Repository:
             else:
                 # Mixed-dimension repositories have no matrix mirror.
                 self._matrix = None
+        if self._bank is not None:
+            if ClassifierBank.supports(classifier):
+                self._bank.add(state.state_id, classifier)
+            else:
+                # Mixed-classifier repositories have no tree bank.
+                self._bank = None
         self._evict_if_needed(protect={state.state_id, *protect})
         return state
 
@@ -404,6 +416,8 @@ class Repository:
         self._states_list = None
         if self._matrix is not None:
             self._matrix.remove(state_id)
+        if self._bank is not None:
+            self._bank.remove(state_id)
 
     def get(self, state_id: int) -> ConceptState:
         return self._states[state_id]
@@ -440,6 +454,28 @@ class Repository:
                 self._matrix.add(state)
         self._matrix.refresh()
         return self._matrix
+
+    def bank(self) -> Optional[ClassifierBank]:
+        """The write-through classifier bank, or ``None``.
+
+        Built lazily on first use and mirrored through membership
+        changes thereafter, like :meth:`matrix`.  Unavailable (returns
+        ``None``) whenever any stored classifier is not a Hoeffding
+        tree — callers fall back to per-state prediction.  Plans
+        refresh themselves lazily at read time, so no explicit refresh
+        step is needed here.
+        """
+        if self._bank is None:
+            states = self.states()
+            if not states or not all(
+                ClassifierBank.supports(s.classifier) for s in states
+            ):
+                return None
+            bank = ClassifierBank()
+            for state in states:
+                bank.add(state.state_id, state.classifier)
+            self._bank = bank
+        return self._bank
 
     def __contains__(self, state_id: int) -> bool:
         return state_id in self._states

@@ -118,6 +118,24 @@ class MetaFeature:
             [self.batch_scalar(row) for row in ctx.matrix], dtype=np.float64
         )
 
+    def batch_scalar_rows(self, ctx: WindowContext) -> np.ndarray:
+        """:meth:`batch_scalar` over a stack of equal-length sequences.
+
+        The forest-routing extraction groups the variable-length
+        error-distance source by gap count, so candidates sharing a
+        length evaluate through one row kernel (and one
+        :class:`WindowContext`, whose ACF / IMF memos replace the
+        per-candidate scalar caches).  The contract is the same as
+        :meth:`batch_scalar_cached`: every row's value must equal
+        :meth:`batch_scalar` on that row **exactly** — built-in
+        overrides therefore replicate the scalar kernels' short-length
+        early-outs before dispatching to the vectorised row kernels.
+        The default loops, which is always exact.
+        """
+        return np.array(
+            [self.batch_scalar(row) for row in ctx.matrix], dtype=np.float64
+        )
+
     def rolling_rows(self, stats) -> np.ndarray:
         """Read the row values from a rolling accumulator."""
         raise NotImplementedError(
@@ -158,6 +176,9 @@ class Mean(MetaFeature):
     def batch_rows(self, ctx: WindowContext) -> np.ndarray:
         return moments.row_means(ctx.matrix)
 
+    # seq_mean has no short-length early-out: rows are exact as-is.
+    batch_scalar_rows = batch_rows
+
     def rolling_rows(self, stats) -> np.ndarray:
         return stats.means()
 
@@ -174,6 +195,8 @@ class Std(MetaFeature):
 
     def batch_rows(self, ctx: WindowContext) -> np.ndarray:
         return moments.row_stds(ctx.matrix)
+
+    batch_scalar_rows = batch_rows
 
     def rolling_rows(self, stats) -> np.ndarray:
         return stats.stds()
@@ -192,6 +215,12 @@ class Skew(MetaFeature):
     def batch_rows(self, ctx: WindowContext) -> np.ndarray:
         return moments.row_skews(ctx.matrix)
 
+    def batch_scalar_rows(self, ctx: WindowContext) -> np.ndarray:
+        # seq_skew returns 0 below 3 samples; the row kernel would not.
+        if ctx.matrix.shape[1] < 3:
+            return np.zeros(ctx.matrix.shape[0])
+        return moments.row_skews(ctx.matrix)
+
     def rolling_rows(self, stats) -> np.ndarray:
         return stats.skews()
 
@@ -207,6 +236,12 @@ class Kurtosis(MetaFeature):
         return moments.seq_kurtosis(seq)
 
     def batch_rows(self, ctx: WindowContext) -> np.ndarray:
+        return moments.row_kurtoses(ctx.matrix)
+
+    def batch_scalar_rows(self, ctx: WindowContext) -> np.ndarray:
+        # seq_kurtosis returns 0 below 4 samples; the row kernel would not.
+        if ctx.matrix.shape[1] < 4:
+            return np.zeros(ctx.matrix.shape[0])
         return moments.row_kurtoses(ctx.matrix)
 
     def rolling_rows(self, stats) -> np.ndarray:
@@ -233,6 +268,9 @@ class Acf(MetaFeature):
     def batch_rows(self, ctx: WindowContext) -> np.ndarray:
         return ctx.acf(self.lag)
 
+    # row_acf zero-fills w <= lag+1 exactly like seq_acf's early-out.
+    batch_scalar_rows = batch_rows
+
     def rolling_rows(self, stats) -> np.ndarray:
         return stats.acf(self.lag)
 
@@ -255,6 +293,9 @@ class Pacf(MetaFeature):
         if self.lag == 1:
             return ctx.acf(1)
         return autocorr.row_pacf2(ctx.acf(1), ctx.acf(2))
+
+    # seq_pacf is the row recursion applied to one lane.
+    batch_scalar_rows = batch_rows
 
     def rolling_rows(self, stats) -> np.ndarray:
         if self.lag == 1:
@@ -286,6 +327,9 @@ class TurningRate(MetaFeature):
     def batch_rows(self, ctx: WindowContext) -> np.ndarray:
         return turning_points.row_turning_rates(ctx.matrix)
 
+    # row_turning_rates zero-fills w < 3 exactly like the scalar.
+    batch_scalar_rows = batch_rows
+
     def rolling_rows(self, stats) -> np.ndarray:
         return stats.turning_rates()
 
@@ -311,6 +355,10 @@ class ImfEntropy(MetaFeature):
 
     def batch_rows(self, ctx: WindowContext) -> np.ndarray:
         return ctx.imf_table()[:, self.mode - 1]
+
+    # One decomposition per row, shared between both entropy modes
+    # through the context memo (the row analogue of the scalar cache).
+    batch_scalar_rows = batch_rows
 
 
 class Shapley(MetaFeature):

@@ -499,6 +499,140 @@ class FingerprintPipeline:
                 )
         return fingerprint.reshape(-1)
 
+    def extract_partial_many(
+        self,
+        window_x: np.ndarray,
+        labels: np.ndarray,
+        preds_block: np.ndarray,
+        classifiers: Optional[Sequence[Optional[Classifier]]] = None,
+        shared: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Complete a shared vector for ``R`` candidates in one pass.
+
+        ``preds_block`` is ``(R, w)`` — one prediction row per candidate
+        classifier re-labelling the same window (the
+        :class:`~repro.classifiers.bank.ClassifierBank`'s output block).
+        Returns the ``(R, D)`` stack whose row ``r`` is **bit-for-bit**
+        ``extract_partial(window_x, labels, preds_block[r],
+        classifiers[r], shared=shared)`` — and therefore ``extract`` —
+        with zero per-candidate Python round-trips on the matrix-source
+        dimensions:
+
+        * all candidates' dependent rows (preds / errors) stack into one
+          ``(R * n_dep, w)`` C-contiguous matrix, so each component's
+          row kernel runs **once** for the whole repository (per-row
+          reductions are lane-independent, hence bit-identical to the
+          per-candidate sub-matrices);
+        * classifier-backed components (permutation importance) loop
+          candidates in order so the pipeline rng advances exactly as
+          the sequential calls would;
+        * the variable-length error-distance source groups candidates
+          by gap count and evaluates each group's ``(G, L)`` stack with
+          the components' :meth:`MetaFeature.batch_scalar_rows` kernels
+          (row-exact counterparts of ``batch_scalar``, sharing ACF/IMF
+          work through one :class:`WindowContext` per group).
+        """
+        if shared is None:
+            shared = self.extract_shared(window_x, labels)
+        window_x = np.asarray(window_x, dtype=np.float64)
+        preds_block = np.asarray(preds_block, dtype=np.float64)
+        w = len(labels)
+        n = preds_block.shape[0]
+        if window_x.shape != (w, self.n_features):
+            raise ValueError(
+                f"window_x shape {window_x.shape} does not match "
+                f"({w}, {self.n_features})"
+            )
+        if preds_block.shape != (n, w):
+            raise ValueError(
+                f"preds_block shape {preds_block.shape} does not match "
+                f"(R, {w})"
+            )
+        if classifiers is not None and len(classifiers) != n:
+            raise ValueError(
+                f"{len(classifiers)} classifiers for {n} prediction rows"
+            )
+        if n == 0:
+            return np.empty((0, self.n_dims))
+        n_sources = len(self.schema.source_names)
+        n_functions = len(self.components)
+        n_matrix = len(self._matrix_sources)
+        out = np.empty((n, n_sources, n_functions))
+        out[:] = np.asarray(shared, dtype=np.float64).reshape(
+            n_sources, n_functions
+        )
+        labels = np.asarray(labels, dtype=np.float64)
+        errors_block = (labels[None, :] != preds_block).astype(np.float64)
+
+        # Permutation-importance rng draws must interleave exactly as
+        # the sequential per-candidate extractions would: candidate
+        # order outer, component order inner.
+        clf_columns = [
+            j
+            for j in range(n_functions)
+            if self._classifier_components[j]
+        ]
+        for r in range(n):
+            for j in clf_columns:
+                out[r, :n_matrix, j] = self._classifier_column(
+                    self.components[j],
+                    window_x,
+                    None if classifiers is None else classifiers[r],
+                )
+
+        rows = self._dep_rows
+        ctx: Optional[WindowContext] = None
+        if rows.size and n:
+            blocks = self._dep_row_blocks(preds_block, errors_block)
+            big = np.empty((n * rows.size, w))
+            for k, block in enumerate(blocks):
+                big[k :: rows.size] = block
+            ctx = WindowContext(big)
+
+        for j, component in enumerate(self.components):
+            if ctx is not None and not self._classifier_components[j]:
+                out[:, rows, j] = component.batch_rows(ctx).reshape(
+                    n, rows.size
+                )
+        if self._has_error_dists:
+            by_length: Dict[int, list] = {}
+            dists = []
+            for r in range(n):
+                error_idx = np.flatnonzero(errors_block[r])
+                if error_idx.size >= 2:
+                    gaps = np.diff(error_idx).astype(np.float64)
+                else:
+                    gaps = np.array([float(w)])
+                dists.append(gaps)
+                by_length.setdefault(len(gaps), []).append(r)
+            for length, members in by_length.items():
+                stack = np.empty((len(members), length))
+                for i, r in enumerate(members):
+                    stack[i] = dists[r]
+                group_ctx = WindowContext(stack)
+                for j, component in enumerate(self.components):
+                    out[members, n_matrix, j] = component.batch_scalar_rows(
+                        group_ctx
+                    )
+        return out.reshape(n, -1)
+
+    def _dep_row_blocks(
+        self, preds_block: np.ndarray, errors_block: np.ndarray
+    ) -> list:
+        """The ``(R, w)`` block backing each dependent matrix-source row.
+
+        Mirrors :meth:`_build_row_matrix`'s index map restricted to the
+        classifier-dependent rows (which are always the preds / errors
+        sources — labels and features are classifier-independent).
+        """
+        d = self.n_features
+        by_index = {d + 1: preds_block, d + 2: errors_block}
+        if self.source_set == "supervised":
+            by_index = {1: preds_block, 2: errors_block}
+        elif self.source_set == "error_rate":
+            by_index = {0: errors_block}
+        return [by_index[int(src_row)] for src_row in self._dep_rows]
+
     def _build_row_matrix(
         self,
         window_x: np.ndarray,
@@ -706,6 +840,33 @@ class WindowExtractionCache:
         self.n_partial_extracts += 1
         return self.pipeline.extract_partial(
             window_x, labels, preds, classifier, shared=self._shared
+        )
+
+    def extract_many(
+        self,
+        key: object,
+        window_x: np.ndarray,
+        labels: np.ndarray,
+        preds_block: np.ndarray,
+        classifiers: Optional[Sequence[Optional[Classifier]]] = None,
+    ) -> np.ndarray:
+        """Fingerprint one window under many candidates, sharing work.
+
+        The forest-routing counterpart of :meth:`extract`: one shared
+        pass per window identity, one
+        :meth:`FingerprintPipeline.extract_partial_many` for the whole
+        prediction block.  Counters advance as if every candidate had
+        gone through :meth:`extract` (``n_partial_extracts`` grows by
+        ``R``), so the cache's work-accounting invariants hold on
+        either path.
+        """
+        if key != self._key:
+            self._shared = self.pipeline.extract_shared(window_x, labels)
+            self._key = key
+            self.n_shared_computes += 1
+        self.n_partial_extracts += len(preds_block)
+        return self.pipeline.extract_partial_many(
+            window_x, labels, preds_block, classifiers, shared=self._shared
         )
 
 

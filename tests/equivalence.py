@@ -1,0 +1,183 @@
+"""Shared run-pinning equivalence utilities.
+
+Every execution-restructuring PR in this repository (chunked engine,
+shared-window extraction cache, vectorized selection, forest routing)
+carries the same hard constraint: the optimised path must be
+**bit-for-bit** identical to the path it replaces — same predictions,
+drift points, state-id traces, discrimination samples and dynamic
+weights.  The test modules pinning those constraints all follow one
+pattern — *run two configurations of the same seeded stream, assert the
+traces are identical* — which lives here so a new toggle joins the
+equivalence matrix by writing one test, not one harness.
+
+Usage::
+
+    trace_on = run_config({"forest_routing": True})
+    trace_off = run_config({"forest_routing": False})
+    assert_identical_traces(trace_on, trace_off)
+
+or, for the common A/B-toggle case, in one call::
+
+    assert_equivalent_configs(
+        {"forest_routing": True}, {"forest_routing": False}
+    )
+
+``run_config`` starts from :data:`BASE_CONFIG` (a small, fast, oracle-
+drift recurring-concept setup that exercises model selection, the
+re-check and the repository step) and applies the given overrides;
+stream choice, seed and run options are keyword arguments.
+
+Stream seeds honour the ``REPRO_SEED`` environment variable as an
+additive offset, so CI's equivalence-matrix job re-runs every pinned
+test under several distinct streams (``REPRO_SEED={0,1,2}``) without
+any test changing.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core import FicsumConfig
+from repro.core.ficsum import Ficsum
+from repro.core.variants import make_error_rate_variant, make_ficsum
+from repro.evaluation.prequential import RunResult, prequential_run
+from repro.streams.datasets import make_dataset
+
+#: Additive stream-seed offset (CI equivalence-matrix job).
+SEED_OFFSET = int(os.environ.get("REPRO_SEED", "0"))
+
+#: The rolling-capable meta-feature subset most equivalence runs use —
+#: large enough to exercise every behaviour source, cheap enough that
+#: whole-stream twin runs stay fast.
+ROLLING = [
+    "mean",
+    "std",
+    "skew",
+    "kurtosis",
+    "autocorrelation",
+    "partial_autocorrelation",
+    "turning_point_rate",
+]
+
+#: Default configuration of an equivalence run: small windows/periods
+#: so events are frequent, oracle drift so selection happens at known
+#: points, discrimination tracking so even those float samples pin.
+BASE_CONFIG: Dict[str, object] = {
+    "window_size": 40,
+    "fingerprint_period": 4,
+    "repository_period": 20,
+    "grace_period": 30,
+    "drift_warmup_windows": 1.0,
+    "oracle_drift": True,
+    "metafeatures": ROLLING,
+    "track_discrimination": True,
+}
+
+
+@dataclass
+class RunTrace:
+    """One finished run plus the system that produced it."""
+
+    result: RunResult
+    system: Ficsum
+
+
+def build_system(
+    overrides: Optional[Dict[str, object]] = None,
+    *,
+    dataset: str = "RBF",
+    seed: int = 5,
+    segment_length: int = 150,
+    n_repeats: int = 2,
+    variant: str = "full",
+    base: Optional[Dict[str, object]] = None,
+):
+    """Build an unrun (system, stream) pair for one configuration.
+
+    ``overrides`` are :class:`FicsumConfig` fields applied on top of
+    ``base`` (default :data:`BASE_CONFIG`; pass ``{}`` to start from
+    the dataclass defaults).  ``variant="er"`` builds the univariate
+    error-rate variant.  The stream seed is offset by ``REPRO_SEED``.
+    Spy tests instrument the system here before driving it themselves.
+    """
+    cfg_kwargs = dict(BASE_CONFIG if base is None else base)
+    cfg_kwargs.update(overrides or {})
+    cfg = FicsumConfig(**cfg_kwargs)
+    stream = make_dataset(
+        dataset,
+        seed=seed + SEED_OFFSET,
+        segment_length=segment_length,
+        n_repeats=n_repeats,
+    )
+    make = make_error_rate_variant if variant == "er" else make_ficsum
+    system = make(stream.meta.n_features, stream.meta.n_classes, cfg)
+    return system, stream
+
+
+def run_config(
+    overrides: Optional[Dict[str, object]] = None,
+    *,
+    chunk_size: Optional[int] = None,
+    max_observations: Optional[int] = None,
+    **build_kwargs,
+) -> RunTrace:
+    """Run one FiCSUM configuration over a seeded recurring stream.
+
+    Accepts every :func:`build_system` keyword plus the prequential
+    run options.
+    """
+    system, stream = build_system(overrides, **build_kwargs)
+    result = prequential_run(
+        system,
+        stream,
+        oracle_drift=system.config.oracle_drift,
+        chunk_size=chunk_size,
+        max_observations=max_observations,
+    )
+    return RunTrace(result, system)
+
+
+def assert_identical_traces(a: RunTrace, b: RunTrace) -> None:
+    """Two runs were observation-for-observation the same run.
+
+    Exact comparisons throughout — metrics, per-observation state-id
+    traces, drift points, float discrimination samples, the dynamic
+    weight vector and the selection-event count.  Any divergence in a
+    restructured execution path shows up here.
+    """
+    ra, rb = a.result, b.result
+    assert ra.n_observations == rb.n_observations
+    assert ra.accuracy == rb.accuracy
+    assert ra.kappa == rb.kappa
+    assert ra.c_f1 == rb.c_f1
+    assert ra.n_drifts == rb.n_drifts
+    assert ra.n_states == rb.n_states
+    assert ra.concept_ids == rb.concept_ids
+    assert ra.state_ids == rb.state_ids
+    assert ra.discrimination == rb.discrimination
+    sa, sb = a.system, b.system
+    assert sa.drift_points == sb.drift_points
+    assert sa.discrimination_samples == sb.discrimination_samples
+    assert sa.selection_events == sb.selection_events
+    assert sa._step == sb._step
+    np.testing.assert_array_equal(sa.weights, sb.weights)
+
+
+def assert_equivalent_configs(
+    overrides_a: Dict[str, object],
+    overrides_b: Dict[str, object],
+    **run_kwargs,
+):
+    """Run both configurations and assert identical traces.
+
+    Returns ``(trace_a, trace_b)`` so callers can add toggle-specific
+    assertions (cache counters, repository internals, ...).
+    """
+    a = run_config(overrides_a, **run_kwargs)
+    b = run_config(overrides_b, **run_kwargs)
+    assert_identical_traces(a, b)
+    return a, b

@@ -4,101 +4,80 @@
 fast path are pure execution restructurings — these tests assert that
 predictions, drift points, state-id traces and every reported metric
 are identical to the per-observation path on seeded streams, for
-ADWIN-detected and oracle drifts alike, across chunk sizes.
+ADWIN-detected and oracle drifts alike, across chunk sizes.  The
+run-and-compare cases go through the shared :mod:`equivalence`
+harness (``chunk_size`` is the only thing that differs between twins).
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from equivalence import assert_identical_traces, build_system, run_config
 
 from repro.classifiers import HoeffdingTree
-from repro.core import FicsumConfig
-from repro.core.variants import make_ficsum
 from repro.evaluation.metrics import ConfusionMatrix
-from repro.evaluation.prequential import prequential_run
-from repro.streams.datasets import make_dataset
 from repro.system import AdaptiveSystem
 
-ROLLING = [
-    "mean",
-    "std",
-    "skew",
-    "kurtosis",
-    "autocorrelation",
-    "partial_autocorrelation",
-    "turning_point_rate",
-]
+#: The chunked-engine equivalence setup: smaller window and offset
+#: periods so sub-chunk boundaries land mid-chunk for every chunk size
+#: under test.
+CHUNK_KWARGS = dict(dataset="RBF", segment_length=200)
+CHUNK_OVERRIDES = {
+    "window_size": 30,
+    "fingerprint_period": 5,
+    "repository_period": 15,
+    "grace_period": 25,
+    "oracle_drift": False,
+    "track_discrimination": False,
+}
 
 
-def build(seed=5, oracle=False, metafeatures=ROLLING, dataset="RBF", segment=200):
-    cfg = FicsumConfig(
-        window_size=30,
-        fingerprint_period=5,
-        repository_period=15,
-        grace_period=25,
-        drift_warmup_windows=1.0,
-        oracle_drift=oracle,
-        metafeatures=metafeatures,
-    )
-    stream = make_dataset(dataset, seed=seed, segment_length=segment, n_repeats=2)
-    system = make_ficsum(stream.meta.n_features, stream.meta.n_classes, cfg)
-    return system, stream
-
-
-def assert_runs_equal(a, b):
-    assert a.n_observations == b.n_observations
-    assert a.accuracy == b.accuracy
-    assert a.kappa == b.kappa
-    assert a.c_f1 == b.c_f1
-    assert a.n_drifts == b.n_drifts
-    assert a.n_states == b.n_states
-    assert a.concept_ids == b.concept_ids
-    assert a.state_ids == b.state_ids
-    assert a.discrimination == b.discrimination
+def run_chunked(chunk_size=None, overrides=None, **kwargs):
+    merged = dict(CHUNK_OVERRIDES)
+    merged.update(overrides or {})
+    run_kwargs = dict(CHUNK_KWARGS)
+    run_kwargs.update(kwargs)
+    return run_config(merged, chunk_size=chunk_size, **run_kwargs)
 
 
 @pytest.mark.parametrize("chunk_size", [1, 53, 500])
 def test_prequential_chunked_equals_per_observation(chunk_size):
-    sys_ref, stream_ref = build()
-    sys_chk, stream_chk = build()
-    ref = prequential_run(sys_ref, stream_ref)
-    chk = prequential_run(sys_chk, stream_chk, chunk_size=chunk_size)
-    assert_runs_equal(ref, chk)
-    assert sys_ref.drift_points == sys_chk.drift_points
-    assert sys_ref.n_drifts_detected >= 1  # drifts actually happened
+    ref = run_chunked()
+    chk = run_chunked(chunk_size=chunk_size)
+    assert_identical_traces(ref, chk)
+    assert ref.system.n_drifts_detected >= 1  # drifts actually happened
 
 
 def test_prequential_chunked_oracle_equals_per_observation():
     """Oracle signals fire at the same timesteps on the chunked path."""
-    sys_ref, stream_ref = build(oracle=True)
-    sys_chk, stream_chk = build(oracle=True)
-    ref = prequential_run(sys_ref, stream_ref, oracle_drift=True)
-    chk = prequential_run(sys_chk, stream_chk, oracle_drift=True, chunk_size=100)
-    assert_runs_equal(ref, chk)
-    assert sys_ref.drift_points == sys_chk.drift_points
-    assert len(sys_ref.drift_points) >= 3
+    ref = run_chunked(overrides={"oracle_drift": True})
+    chk = run_chunked(chunk_size=100, overrides={"oracle_drift": True})
+    assert_identical_traces(ref, chk)
+    assert len(ref.system.drift_points) >= 3
 
 
 def test_prequential_chunked_full_metafeature_set():
-    sys_ref, stream_ref = build(seed=2, metafeatures=None)
-    sys_chk, stream_chk = build(seed=2, metafeatures=None)
-    ref = prequential_run(sys_ref, stream_ref, max_observations=500)
-    chk = prequential_run(sys_chk, stream_chk, max_observations=500, chunk_size=77)
-    assert_runs_equal(ref, chk)
+    ref = run_chunked(
+        overrides={"metafeatures": None}, seed=2, max_observations=500
+    )
+    chk = run_chunked(
+        chunk_size=77, overrides={"metafeatures": None}, seed=2,
+        max_observations=500,
+    )
+    assert_identical_traces(ref, chk)
 
 
 def test_prequential_chunked_respects_max_observations():
-    sys_chk, stream_chk = build()
-    chk = prequential_run(sys_chk, stream_chk, max_observations=137, chunk_size=50)
-    assert chk.n_observations == 137
-    assert len(chk.state_ids) == 137
+    chk = run_chunked(chunk_size=50, max_observations=137)
+    assert chk.result.n_observations == 137
+    assert len(chk.result.state_ids) == 137
 
 
 def test_process_chunk_matches_process_directly():
     """Raw process_chunk vs process, including the state-id trace."""
-    sys_ref, stream = build(seed=9)
-    sys_chk, _ = build(seed=9)
+    sys_ref, stream = build_system(CHUNK_OVERRIDES, seed=9, **CHUNK_KWARGS)
+    sys_chk, _ = build_system(CHUNK_OVERRIDES, seed=9, **CHUNK_KWARGS)
     data = [(x, y) for x, y, _ in stream]
     X = np.stack([x for x, _ in data])
     Y = np.array([y for _, y in data], dtype=np.int64)

@@ -17,14 +17,12 @@ from collections import Counter
 
 import numpy as np
 import pytest
+from equivalence import assert_equivalent_configs, build_system
 
 from repro.classifiers import HoeffdingTree
-from repro.core import FicsumConfig
-from repro.core.variants import make_ficsum
 from repro.evaluation.prequential import prequential_run
 from repro.metafeatures import FingerprintPipeline, WindowExtractionCache
 from repro.registry import METAFEATURES
-from repro.streams.datasets import make_dataset
 
 W, D = 75, 6
 
@@ -106,6 +104,34 @@ def test_batch_scalar_cached_matches_batch_scalar():
             assert component.batch_scalar_cached(seq, cache) == component.batch_scalar(seq)
 
 
+def test_batch_scalar_rows_matches_batch_scalar():
+    """The grouped error-distance path (forest routing) evaluates
+    equal-length sequence stacks through ``batch_scalar_rows``; every
+    row's value must equal ``batch_scalar`` on that row exactly — in
+    particular at the tiny lengths where the scalar kernels early-out
+    (skew < 3, kurtosis < 4, acf/pacf <= lag+1)."""
+    from repro.metafeatures.components import WindowContext
+
+    rng = np.random.default_rng(7)
+    for length in (1, 2, 3, 4, 5, 9, 40):
+        stacks = [
+            rng.normal(size=(6, length)),
+            rng.integers(1, 6, size=(6, length)).astype(np.float64),
+            np.zeros((3, length)),  # constant rows
+        ]
+        for stack in stacks:
+            ctx = WindowContext(stack)
+            for component in METAFEATURES.values():
+                rows = component.batch_scalar_rows(ctx)
+                scalars = np.array(
+                    [component.batch_scalar(row) for row in stack]
+                )
+                assert np.array_equal(rows, scalars), (
+                    component.name,
+                    length,
+                )
+
+
 def test_window_extraction_cache_counters(window):
     X, ys, preds, tree = window
     pipe = FingerprintPipeline(D)
@@ -129,44 +155,16 @@ def test_window_extraction_cache_counters(window):
     assert cache.n_shared_computes == 3
 
 
-ROLLING = [
-    "mean",
-    "std",
-    "skew",
-    "kurtosis",
-    "autocorrelation",
-    "partial_autocorrelation",
-    "turning_point_rate",
-]
-
-
-def _ficsum_system(extraction_cache=True, seed=5):
-    cfg = FicsumConfig(
-        window_size=40,
-        fingerprint_period=4,
-        repository_period=20,
-        grace_period=30,
-        drift_warmup_windows=1.0,
-        oracle_drift=True,
-        metafeatures=ROLLING,
-        extraction_cache=extraction_cache,
-    )
-    stream = make_dataset("RBF", seed=seed, segment_length=150, n_repeats=2)
-    system = make_ficsum(stream.meta.n_features, stream.meta.n_classes, cfg)
-    return system, stream
-
-
-def test_ficsum_computes_shared_dims_once_per_window():
-    """Spy test for the acceptance criterion: model selection and the
-    repository step never run full extraction, and the classifier-
-    independent dimensions are computed exactly once per window even
-    when many candidate states fingerprint it."""
-    system, stream = _ficsum_system()
+def _spy_on_extraction(system):
+    """Instrument a system's pipeline + cache; returns the call log."""
     pipe = system.pipeline
-    calls = {"full": 0, "shared": 0, "keys": []}
+    cache = system._extract_cache
+    calls = {"full": 0, "shared": 0, "keys": [], "block_rows": 0}
 
     original_extract = pipe.extract
     original_shared = pipe.extract_shared
+    original_cache_extract = cache.extract
+    original_cache_many = cache.extract_many
 
     def spy_extract(*args, **kwargs):
         calls["full"] += 1
@@ -176,16 +174,34 @@ def test_ficsum_computes_shared_dims_once_per_window():
         calls["shared"] += 1
         return original_shared(*args, **kwargs)
 
-    pipe.extract = spy_extract
-    pipe.extract_shared = spy_shared
-    cache = system._extract_cache
-    original_cache_extract = cache.extract
-
     def spy_cache_extract(key, *args, **kwargs):
         calls["keys"].append(key)
+        calls["block_rows"] += 1
         return original_cache_extract(key, *args, **kwargs)
 
+    def spy_cache_many(key, window_x, labels, preds_block, *args, **kwargs):
+        calls["keys"].append(key)
+        calls["block_rows"] += len(preds_block)
+        return original_cache_many(
+            key, window_x, labels, preds_block, *args, **kwargs
+        )
+
+    pipe.extract = spy_extract
+    pipe.extract_shared = spy_shared
     cache.extract = spy_cache_extract
+    cache.extract_many = spy_cache_many
+    return calls
+
+
+def test_ficsum_computes_shared_dims_once_per_window():
+    """Spy test for the acceptance criterion: model selection and the
+    repository step never run full extraction, and the classifier-
+    independent dimensions are computed exactly once per window even
+    when many candidate states fingerprint it (the per-candidate cache
+    path — ``forest_routing`` off)."""
+    system, stream = build_system({"forest_routing": False})
+    cache = system._extract_cache
+    calls = _spy_on_extraction(system)
 
     prequential_run(system, stream, oracle_drift=True)
 
@@ -203,13 +219,32 @@ def test_ficsum_computes_shared_dims_once_per_window():
     assert cache.n_partial_extracts == len(calls["keys"])
 
 
+def test_ficsum_forest_routing_shares_the_same_cache():
+    """On the forest-routing path the whole candidate block goes
+    through one ``extract_many`` per window, the shared part is still
+    computed exactly once per window, and the work counters account
+    for every candidate in the block."""
+    system, stream = build_system()
+    cache = system._extract_cache
+    calls = _spy_on_extraction(system)
+
+    prequential_run(system, stream, oracle_drift=True)
+
+    assert len(system.repository) >= 2
+    assert calls["keys"], "model selection / repository step never ran"
+    assert calls["full"] == 0
+    per_window = Counter(calls["keys"])
+    assert calls["shared"] == len(per_window)
+    assert cache.n_shared_computes == len(per_window)
+    # The candidate fan-out arrives as blocks: fewer cache calls than
+    # fingerprinted candidates, but every candidate is accounted for.
+    assert cache.n_partial_extracts == calls["block_rows"]
+    assert cache.n_partial_extracts > len(calls["keys"])
+
+
 def test_ficsum_cache_disabled_is_equivalent():
     """The cache is an execution detail: identical run either way."""
-    sys_on, stream_on = _ficsum_system(extraction_cache=True)
-    sys_off, stream_off = _ficsum_system(extraction_cache=False)
-    r_on = prequential_run(sys_on, stream_on, oracle_drift=True)
-    r_off = prequential_run(sys_off, stream_off, oracle_drift=True)
-    assert r_on.accuracy == r_off.accuracy
-    assert r_on.state_ids == r_off.state_ids
-    assert sys_on.drift_points == sys_off.drift_points
-    assert sys_off._extract_cache is None
+    _, off = assert_equivalent_configs(
+        {"extraction_cache": True}, {"extraction_cache": False}
+    )
+    assert off.system._extract_cache is None

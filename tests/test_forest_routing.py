@@ -1,0 +1,420 @@
+"""One-pass forest routing: bank exactness, pipeline block extraction,
+FiCSUM wiring and whole-run equivalence of ``forest_routing`` on vs off.
+
+Three layers, each pinned bit-for-bit against the path it replaces:
+
+* :class:`ClassifierBank` — property tests over random grown trees
+  (fresh/empty leaves, single-class leaves, post-split trees with
+  seeded children, random-subspace trees, structure and statistics
+  version invalidation) assert the ``(R, W)`` block equals stacking
+  per-tree :meth:`predict_batch` exactly;
+* :meth:`FingerprintPipeline.extract_partial_many` — the all-candidate
+  dependent-dims extraction equals sequential ``extract_partial`` (and
+  the batch-reference ``extract``) including the permutation-importance
+  rng stream, for every source set;
+* the framework — full recurring-stream runs with the toggle on vs off
+  are identical observation for observation (via the shared
+  :mod:`equivalence` harness), including the ADWIN detection path, the
+  univariate ER variant, the full Table I component set and chunked
+  execution; a repository holding a non-tree classifier transparently
+  falls back to the per-state loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from equivalence import (
+    assert_equivalent_configs,
+    assert_identical_traces,
+    build_system,
+    run_config,
+)
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classifiers import ClassifierBank, HoeffdingTree, MajorityClass
+from repro.classifiers.bank import TreePlan
+from repro.evaluation.prequential import prequential_run
+from repro.metafeatures import FingerprintPipeline
+
+
+def _grown_tree(seed, n_classes=2, n_features=4, n_train=400, max_features=None):
+    """A tree trained on a seeded linearly-separable-ish stream."""
+    rng = np.random.default_rng(seed)
+    tree = HoeffdingTree(
+        n_classes,
+        n_features,
+        grace_period=25,
+        max_features=max_features,
+        seed=seed,
+    )
+    X = rng.normal(size=(n_train, n_features))
+    y = (
+        (X[:, 0] + 0.5 * X[:, seed % n_features]) > 0
+    ).astype(np.int64) % n_classes
+    for i in range(n_train):
+        tree.learn(X[i], int(y[i]))
+    return tree
+
+
+def _assert_bank_matches(trees, X):
+    bank = ClassifierBank()
+    for i, tree in enumerate(trees):
+        bank.add(i, tree)
+    block = bank.predict_batch_many(range(len(trees)), X)
+    reference = np.stack([tree.predict_batch(X) for tree in trees])
+    np.testing.assert_array_equal(block, reference)
+    return bank
+
+
+# ----------------------------------------------------------------------
+# ClassifierBank: routing + batched NB scoring == per-tree predict_batch
+# ----------------------------------------------------------------------
+class TestClassifierBank:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_grown_trees_match_per_tree_batch(self, seed):
+        """The property pin: any mix of grown trees, any window."""
+        rng = np.random.default_rng(seed)
+        n_classes = int(rng.integers(2, 5))
+        n_features = int(rng.integers(2, 7))
+        trees = [
+            _grown_tree(
+                seed * 31 + t,
+                n_classes=n_classes,
+                n_features=n_features,
+                n_train=int(rng.integers(0, 600)),
+            )
+            for t in range(int(rng.integers(1, 6)))
+        ]
+        X = rng.normal(size=(int(rng.integers(1, 90)), n_features)) * 2.0
+        _assert_bank_matches(trees, X)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_subspace_trees_match(self, seed):
+        """ARF-style ``max_features`` trees route identically (the
+        subspace only affects split *search*, never prediction)."""
+        rng = np.random.default_rng(seed)
+        n_features = int(rng.integers(3, 8))
+        trees = [
+            _grown_tree(
+                seed * 17 + t,
+                n_features=n_features,
+                max_features=max(1, n_features // 2),
+                n_train=800,
+            )
+            for t in range(3)
+        ]
+        X = rng.normal(size=(40, n_features))
+        _assert_bank_matches(trees, X)
+
+    def test_empty_trees_predict_uniform_argmax(self):
+        """Fresh trees (zero-weight root leaf): uniform probabilities,
+        argmax 0 — exactly the per-tree path."""
+        trees = [HoeffdingTree(3, 2, seed=t) for t in range(3)]
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        bank = _assert_bank_matches(trees, X)
+        assert np.array_equal(
+            bank.predict_batch_many([0, 1, 2], X), np.zeros((3, 10), np.int64)
+        )
+
+    def test_single_class_leaves(self):
+        """Trees that only ever saw one label predict it everywhere."""
+        rng = np.random.default_rng(3)
+        trees = []
+        for label in (0, 1, 2):
+            tree = HoeffdingTree(3, 3, grace_period=10, seed=label)
+            for _ in range(60):
+                tree.learn(rng.normal(size=3), label)
+            trees.append(tree)
+        X = rng.normal(size=(25, 3))
+        bank = _assert_bank_matches(trees, X)
+        block = bank.predict_batch_many([0, 1, 2], X)
+        for label in (0, 1, 2):
+            assert np.all(block[label] == label)
+
+    def test_post_split_trees_with_seeded_children(self):
+        """Splits seed children's priors from the parent's split masses;
+        freshly split trees must still match exactly."""
+        trees = [_grown_tree(s, n_train=900) for s in (1, 2, 3)]
+        assert all(t.n_splits >= 1 for t in trees)
+        X = np.random.default_rng(9).normal(size=(60, 4)) * 3.0
+        _assert_bank_matches(trees, X)
+
+    def test_structure_and_stats_version_invalidation(self):
+        """Plans refresh when a tree learns (stats) or splits
+        (structure) between reads — and not otherwise."""
+        tree = _grown_tree(5, n_train=300)
+        bank = ClassifierBank()
+        bank.add(0, tree)
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(30, 4))
+        np.testing.assert_array_equal(
+            bank.predict_batch_many([0], X)[0], tree.predict_batch(X)
+        )
+        plan = bank._plans[0]
+        feature_table = plan.feature
+        stats_table = plan.class_counts
+        # No tree activity: both tables are reused as-is.
+        bank.predict_batch_many([0], X)
+        assert plan.feature is feature_table
+        assert plan.class_counts is stats_table
+
+        # Learning without splitting: stats re-pulled, structure kept.
+        splits = tree.n_splits
+        for _ in range(5):
+            tree.learn(rng.normal(size=4), 1)
+        assert tree.n_splits == splits
+        np.testing.assert_array_equal(
+            bank.predict_batch_many([0], X)[0], tree.predict_batch(X)
+        )
+        assert plan.feature is feature_table
+        assert plan.class_counts is not stats_table
+
+        # Growing a branch: the routing table itself is rebuilt.
+        while tree.n_splits == splits:
+            x = rng.normal(size=4)
+            tree.learn(x, int(x[0] > 0))
+        np.testing.assert_array_equal(
+            bank.predict_batch_many([0], X)[0], tree.predict_batch(X)
+        )
+        assert bank._plans[0].feature is not feature_table
+
+    def test_chunked_learning_moves_the_stats_version(self):
+        """``predict_learn_batch`` bypasses ``learn()``; the learn
+        counter must advance anyway or plans would serve stale leaves."""
+        tree = _grown_tree(7, n_train=200)
+        before = tree.n_learns
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(50, 4))
+        y = (X[:, 0] > 0).astype(np.int64)
+        tree.predict_learn_batch(X, y)
+        assert tree.n_learns >= before + 50
+
+    def test_leaf_prediction_modes(self):
+        """mc / nb / nba leaf predictors all route through the bank."""
+        rng = np.random.default_rng(21)
+        for mode in ("mc", "nb", "nba"):
+            trees = []
+            for t in range(3):
+                tree = HoeffdingTree(
+                    2, 3, grace_period=20, leaf_prediction=mode, seed=t
+                )
+                X = rng.normal(size=(250, 3))
+                for i in range(250):
+                    tree.learn(X[i], int(X[i, 0] > 0))
+                trees.append(tree)
+            _assert_bank_matches(trees, rng.normal(size=(30, 3)))
+
+    def test_rejects_non_tree_classifiers(self):
+        bank = ClassifierBank()
+        with pytest.raises(TypeError):
+            bank.add(0, MajorityClass(2))
+        assert not ClassifierBank.supports(MajorityClass(2))
+
+    def test_rejects_mismatched_tree_shapes(self):
+        bank = ClassifierBank()
+        bank.add(0, HoeffdingTree(2, 3, seed=0))
+        bank.add(1, HoeffdingTree(3, 3, seed=1))
+        with pytest.raises(ValueError):
+            bank.predict_batch_many([0, 1], np.zeros((4, 3)))
+
+    def test_membership_and_empty_requests(self):
+        bank = ClassifierBank()
+        tree = _grown_tree(1)
+        bank.add(7, tree)
+        assert 7 in bank and len(bank) == 1
+        assert bank.predict_batch_many([], np.zeros((5, 4))).shape == (0, 5)
+        assert bank.predict_batch_many([7], np.zeros((0, 4))).shape == (1, 0)
+        bank.remove(7)
+        bank.remove(7)  # idempotent
+        assert 7 not in bank and len(bank) == 0
+
+    def test_plan_covers_every_leaf(self):
+        tree = _grown_tree(13, n_train=900)
+        plan = TreePlan(tree)
+        assert plan.n_leaves == tree.n_leaves
+        assert plan.n_nodes == tree.n_leaves + tree.n_splits
+        assert (plan.feature >= 0).sum() == tree.n_splits
+
+
+# ----------------------------------------------------------------------
+# Pipeline block extraction == sequential partial extraction
+# ----------------------------------------------------------------------
+class TestExtractPartialMany:
+    @pytest.fixture(scope="class")
+    def window(self):
+        rng = np.random.default_rng(0)
+        W, D = 60, 5
+        X = rng.normal(size=(W, D))
+        ys = rng.integers(0, 2, size=W).astype(np.int64)
+        trees = [_grown_tree(t, n_features=D, n_train=350) for t in range(6)]
+        preds = np.stack([t.predict_batch(X) for t in trees])
+        return X, ys, preds, trees
+
+    @pytest.mark.parametrize(
+        "source_set", ["all", "supervised", "unsupervised", "error_rate"]
+    )
+    def test_block_equals_sequential_partials(self, window, source_set):
+        X, ys, preds, trees = window
+        D = X.shape[1]
+        ref_pipe = FingerprintPipeline(D, source_set=source_set)
+        shared = ref_pipe.extract_shared(X, ys)
+        reference = np.stack(
+            [
+                ref_pipe.extract_partial(
+                    X, ys, preds[r], trees[r], shared=shared
+                )
+                for r in range(len(trees))
+            ]
+        )
+        block = FingerprintPipeline(
+            D, source_set=source_set
+        ).extract_partial_many(X, ys, preds, trees)
+        np.testing.assert_array_equal(block, reference)
+
+    def test_block_equals_batch_reference(self, window):
+        """Transitively: the block equals full ``extract`` per row,
+        with the permutation-importance rng advancing in lockstep."""
+        X, ys, preds, trees = window
+        D = X.shape[1]
+        full_pipe = FingerprintPipeline(D)
+        reference = np.stack(
+            [
+                full_pipe.extract(X, ys, preds[r], trees[r])
+                for r in range(len(trees))
+            ]
+        )
+        block = FingerprintPipeline(D).extract_partial_many(
+            X, ys, preds, trees
+        )
+        np.testing.assert_array_equal(block, reference)
+
+    def test_empty_block(self, window):
+        X, ys, _, _ = window
+        pipe = FingerprintPipeline(X.shape[1])
+        out = pipe.extract_partial_many(X, ys, np.empty((0, len(ys))), [])
+        assert out.shape == (0, pipe.n_dims)
+
+    def test_shape_validation(self, window):
+        X, ys, preds, trees = window
+        pipe = FingerprintPipeline(X.shape[1])
+        with pytest.raises(ValueError):
+            pipe.extract_partial_many(X, ys, preds[:, :-1], trees)
+        with pytest.raises(ValueError):
+            pipe.extract_partial_many(X, ys, preds, trees[:-1])
+
+
+# ----------------------------------------------------------------------
+# Whole-run equivalence: forest_routing on vs off
+# ----------------------------------------------------------------------
+class TestForestRoutingEquivalence:
+    def test_multi_concept_recurring_stream(self):
+        """The acceptance pin: identical predictions, drift points,
+        state traces and float discrimination samples on a recurring
+        multi-concept stream."""
+        assert_equivalent_configs(
+            {"forest_routing": True}, {"forest_routing": False}
+        )
+
+    def test_adwin_detection_path(self):
+        assert_equivalent_configs(
+            {"forest_routing": True, "oracle_drift": False},
+            {"forest_routing": False, "oracle_drift": False},
+            dataset="STAGGER",
+            seed=1,
+        )
+
+    def test_univariate_er_variant(self):
+        assert_equivalent_configs(
+            {"forest_routing": True, "metafeatures": None},
+            {"forest_routing": False, "metafeatures": None},
+            variant="er",
+        )
+
+    def test_full_component_set_including_shapley(self):
+        """The full Table I set exercises the classifier-backed
+        permutation importance, whose rng stream must interleave
+        exactly as the per-candidate loop's."""
+        assert_equivalent_configs(
+            {"forest_routing": True, "metafeatures": None},
+            {"forest_routing": False, "metafeatures": None},
+            segment_length=120,
+        )
+
+    def test_without_extraction_cache(self):
+        assert_equivalent_configs(
+            {"forest_routing": True, "extraction_cache": False},
+            {"forest_routing": False, "extraction_cache": False},
+        )
+
+    def test_under_eviction_pressure(self):
+        on, _ = assert_equivalent_configs(
+            {"forest_routing": True, "max_repository_size": 3},
+            {"forest_routing": False, "max_repository_size": 3},
+            seed=7,
+            segment_length=130,
+        )
+        repo = on.system.repository
+        assert len(repo) <= 3
+        bank = repo.bank()
+        assert bank is not None
+        # Bank membership tracked LRU eviction through the whole run.
+        assert sorted(bank._plans) == sorted(s.state_id for s in repo.states())
+
+    def test_chunked_engine_composes_with_forest_routing(self):
+        a = run_config({"forest_routing": True})
+        b = run_config({"forest_routing": True}, chunk_size=64)
+        assert_identical_traces(a, b)
+
+    def test_forest_path_actually_taken(self):
+        """Guard against the toggle silently falling back: the bank
+        serves every multi-candidate stack of a default run."""
+        system, stream = build_system()
+        bank_calls = {"n": 0, "rows": 0}
+
+        import repro.classifiers.bank as bank_module
+
+        original_many = bank_module.ClassifierBank.predict_batch_many
+
+        def spy_many(self, keys, X):
+            out = original_many(self, keys, X)
+            bank_calls["n"] += 1
+            bank_calls["rows"] += len(out)
+            return out
+
+        bank_module.ClassifierBank.predict_batch_many = spy_many
+        try:
+            prequential_run(system, stream, oracle_drift=True)
+        finally:
+            bank_module.ClassifierBank.predict_batch_many = original_many
+
+        assert bank_calls["n"] > 0
+        assert bank_calls["rows"] > bank_calls["n"]  # real fan-outs batched
+        # The per-state path only serves the single-state calls
+        # (active-window match + discrimination), never the stacks.
+        assert system.selection_events > 0
+
+    def test_non_tree_repository_falls_back_to_loop(self):
+        """A repository holding any non-tree classifier has no bank;
+        the stack transparently uses the per-state loop."""
+        trace = run_config({"forest_routing": True}, max_observations=400)
+        system = trace.system
+        repo = system.repository
+        assert repo.bank() is not None
+        intruder = repo.new_state(system.n_dims, MajorityClass(2), step=0)
+        assert repo.bank() is None
+        xa, ya, _ = system.window.arrays()
+        states = [
+            s for s in repo.states() if s.state_id != intruder.state_id
+        ]
+        fps = system._stack_window_fingerprints(xa, ya, states)
+        loop = np.stack(
+            [system._window_fingerprint(xa, ya, s) for s in states]
+        )
+        np.testing.assert_array_equal(fps, loop)
+        # Removing the intruder restores the bank.
+        repo.remove(intruder.state_id)
+        assert repo.bank() is not None

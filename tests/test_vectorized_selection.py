@@ -9,9 +9,9 @@ from collections import deque
 
 import numpy as np
 import pytest
+from equivalence import assert_equivalent_configs, run_config
 
 from repro.classifiers import MajorityClass
-from repro.core import FicsumConfig
 from repro.core.repository import (
     ConceptState,
     FingerprintMatrix,
@@ -29,23 +29,10 @@ from repro.core.similarity import (
     weighted_cosine_pairs,
     weighted_cosine_similarity,
 )
-from repro.core.variants import make_error_rate_variant, make_ficsum
 from repro.core.weighting import make_weights
-from repro.evaluation.prequential import prequential_run
-from repro.streams.datasets import make_dataset
 from repro.utils.stats import OnlineMinMax
 
 RNG = np.random.default_rng(42)
-
-ROLLING = [
-    "mean",
-    "std",
-    "skew",
-    "kurtosis",
-    "autocorrelation",
-    "partial_autocorrelation",
-    "turning_point_rate",
-]
 
 
 # ----------------------------------------------------------------------
@@ -341,81 +328,40 @@ class TestFingerprintMatrix:
 
 # ----------------------------------------------------------------------
 # Whole-run equivalence: vectorized_selection on vs off
+# (run-and-compare cases ride the shared equivalence harness)
 # ----------------------------------------------------------------------
-def _run(vectorized, *, variant="full", oracle=True, dataset="RBF", seed=5):
-    cfg = FicsumConfig(
-        window_size=40,
-        fingerprint_period=4,
-        repository_period=20,
-        grace_period=30,
-        drift_warmup_windows=1.0,
-        oracle_drift=oracle,
-        metafeatures=ROLLING if variant == "full" else None,
-        track_discrimination=True,
-        vectorized_selection=vectorized,
-    )
-    stream = make_dataset(dataset, seed=seed, segment_length=150, n_repeats=2)
-    make = make_error_rate_variant if variant == "er" else make_ficsum
-    system = make(stream.meta.n_features, stream.meta.n_classes, cfg)
-    result = prequential_run(system, stream, oracle_drift=oracle)
-    return result, system
-
-
-def _assert_identical_runs(on, off):
-    r_on, s_on = on
-    r_off, s_off = off
-    assert r_on.accuracy == r_off.accuracy
-    assert r_on.state_ids == r_off.state_ids
-    assert s_on.drift_points == s_off.drift_points
-    assert s_on.discrimination_samples == s_off.discrimination_samples
-    np.testing.assert_array_equal(s_on.weights, s_off.weights)
-    assert s_on.selection_events == s_off.selection_events
-
-
 class TestVectorizedEquivalence:
     def test_multi_concept_recurring_stream(self):
         """The acceptance pin: identical predictions, drift points and
         state-id traces (and even the float discrimination samples) on
         a multi-concept recurring stream."""
-        _assert_identical_runs(_run(True), _run(False))
+        assert_equivalent_configs(
+            {"vectorized_selection": True}, {"vectorized_selection": False}
+        )
 
     def test_adwin_detection_path(self):
-        _assert_identical_runs(
-            _run(True, oracle=False, dataset="STAGGER", seed=1),
-            _run(False, oracle=False, dataset="STAGGER", seed=1),
+        assert_equivalent_configs(
+            {"vectorized_selection": True, "oracle_drift": False},
+            {"vectorized_selection": False, "oracle_drift": False},
+            dataset="STAGGER",
+            seed=1,
         )
 
     def test_univariate_er_variant(self):
-        _assert_identical_runs(
-            _run(True, variant="er"), _run(False, variant="er")
+        assert_equivalent_configs(
+            {"vectorized_selection": True, "metafeatures": None},
+            {"vectorized_selection": False, "metafeatures": None},
+            variant="er",
         )
 
     def test_equivalence_under_eviction_pressure(self):
-        def run(vectorized):
-            cfg = FicsumConfig(
-                window_size=40,
-                fingerprint_period=4,
-                repository_period=20,
-                grace_period=30,
-                drift_warmup_windows=1.0,
-                oracle_drift=True,
-                metafeatures=ROLLING,
-                max_repository_size=3,
-                vectorized_selection=vectorized,
-            )
-            stream = make_dataset(
-                "RBF", seed=7, segment_length=130, n_repeats=2
-            )
-            system = make_ficsum(
-                stream.meta.n_features, stream.meta.n_classes, cfg
-            )
-            result = prequential_run(system, stream, oracle_drift=True)
-            return result, system
-
-        on, off = run(True), run(False)
-        assert on[0].state_ids == off[0].state_ids
-        assert on[1].drift_points == off[1].drift_points
-        system = on[1]
+        on, _ = assert_equivalent_configs(
+            {"vectorized_selection": True, "max_repository_size": 3},
+            {"vectorized_selection": False, "max_repository_size": 3},
+            seed=7,
+            segment_length=130,
+        )
+        system = on.system
         assert len(system.repository) <= 3
         # Matrix rows stayed aligned through LRU eviction in a real run.
         m = system.repository.matrix()
@@ -426,7 +372,7 @@ class TestVectorizedEquivalence:
             )
 
     def test_gated_record_memo_invalidates_on_record_update(self):
-        _, system = _run(True)
+        system = run_config({"vectorized_selection": True}).system
         states = [
             s for s in system.repository.states() if s.sim_stats.count >= 2
         ]
