@@ -94,6 +94,7 @@ def main(argv=None) -> int:
             "system_throughput",
             "selection_throughput",
             "forest_routing",
+            "snapshot",
         ],
     )
     parser.add_argument("--tolerance", type=float, default=0.30)

@@ -5,8 +5,13 @@ Commands
 ``run``      one prequential experiment (system x dataset x seed)
 ``grid``     run a declarative (systems x datasets x seeds) spec
              through the parallel engine, persisting one JSON artifact
-             per cell (re-runs skip cells whose artifact exists)
+             per cell (re-runs skip cells whose artifact exists;
+             ``--checkpoint-every`` adds intra-cell crash recovery)
 ``report``   aggregate saved artifacts into a mean (std) table
+``snapshot`` run a system partway and write a versioned state snapshot
+``inspect``  summarise a snapshot's manifest (schema, hashes, meta)
+``metrics``  run with the stats collector / audit log attached and
+             print the observability summary
 ``datasets`` list the registered datasets (Table II characteristics)
 ``systems``  list the registered systems
 ``features`` list the registered meta-information components
@@ -20,6 +25,10 @@ Examples
                --seeds 1 2 --workers 4 --results-dir results
     repro grid --spec grid.toml --workers 8 --results-dir results
     repro report --results-dir results
+    repro snapshot --system ficsum --dataset STAGGER \
+                   --observations 5000 --out snap.ckpt
+    repro inspect snap.ckpt
+    repro metrics --system ficsum --dataset STAGGER --observations 5000
     repro datasets
     repro features list
     repro run --system ficsum --dataset STAGGER --metafeatures mean std
@@ -111,6 +120,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="artifact directory (default: ./results)",
     )
     grid.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="snapshot in-flight cells every N observations so a "
+             "killed grid resumes mid-cell (default: off)",
+    )
+    grid.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress"
     )
 
@@ -122,6 +136,54 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics", nargs="+", default=["kappa", "c_f1", "accuracy"],
         help="RunResult fields to summarise (default: kappa c_f1 accuracy)",
     )
+
+    snapshot = sub.add_parser(
+        "snapshot", help="run a system partway and write a state snapshot"
+    )
+    snapshot.add_argument("--system", required=True, choices=system_names())
+    snapshot.add_argument("--dataset", required=True)
+    snapshot.add_argument("--seed", type=int, default=0)
+    snapshot.add_argument("--segment-length", type=int, default=None)
+    snapshot.add_argument(
+        "--observations", type=int, required=True,
+        help="observations to process before snapshotting",
+    )
+    snapshot.add_argument(
+        "--out", type=Path, required=True,
+        help="snapshot directory to write (created/replaced atomically)",
+    )
+    snapshot.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="drive the system through the chunked path (default: per-obs)",
+    )
+    snapshot.add_argument("--oracle", action="store_true")
+
+    inspect = sub.add_parser(
+        "inspect", help="summarise a snapshot's manifest without loading it"
+    )
+    inspect.add_argument("path", type=Path, help="snapshot directory")
+    inspect.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the per-file SHA-256 integrity check",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="run with observability attached, print the summary"
+    )
+    metrics.add_argument("--system", required=True, choices=system_names())
+    metrics.add_argument("--dataset", required=True)
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--segment-length", type=int, default=None)
+    metrics.add_argument(
+        "--observations", type=int, default=None,
+        help="stop after N observations (default: the full stream)",
+    )
+    metrics.add_argument(
+        "--audit-log", type=Path, default=None,
+        help="also append audit events (drifts, transitions, evictions) "
+             "to this JSONL file",
+    )
+    metrics.add_argument("--oracle", action="store_true")
 
     sub.add_parser("datasets", help="list registered datasets")
     sub.add_parser("systems", help="list registered systems")
@@ -233,10 +295,15 @@ def _cmd_grid(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             print(f"[{event.index + 1:>3d}/{event.total}] "
                   f"{event.kind:>6s}  {event.cell.label()}")
 
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        parser.error(
+            f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+        )
     engine = Engine(
         results_dir=args.results_dir,
         max_workers=args.workers,
         progress=progress,
+        checkpoint_every=args.checkpoint_every,
     )
     grid = engine.run(spec)
     print(f"spec      : {grid.spec_hash} ({spec.n_cells} cells)")
@@ -282,6 +349,121 @@ def _cmd_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
         parser.error(f"unknown metrics: {bad}")
     print(f"{len(artifacts)} artifacts under {args.results_dir}")
     _print_report(artifacts, args.metrics)
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.evaluation.runner import prepare_run
+    from repro.serving.runner import StreamRunner
+
+    if args.observations < 1:
+        parser.error(f"--observations must be >= 1, got {args.observations}")
+    system, stream = prepare_run(
+        args.system,
+        args.dataset,
+        seed=args.seed,
+        segment_length=args.segment_length,
+        oracle_drift=args.oracle,
+    )
+    runner = StreamRunner(
+        system,
+        stream,
+        oracle_drift=args.oracle,
+        chunk_size=args.chunk_size,
+        keep_history=False,
+    )
+    result = runner.run(max_observations=args.observations)
+    path = runner.save_checkpoint(args.out)
+    print(f"system    : {args.system}")
+    print(f"dataset   : {args.dataset} (seed {args.seed})")
+    print(f"processed : {runner.n_seen} observations"
+          + (" (stream exhausted)" if runner.exhausted else ""))
+    print(f"accuracy  : {result.accuracy:.4f}")
+    print(f"snapshot  : {path}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    import time as _time
+
+    from repro.serving.manifest import SnapshotError, read_manifest
+
+    try:
+        manifest = read_manifest(args.path, verify=not args.no_verify)
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    created = _time.strftime(
+        "%Y-%m-%d %H:%M:%S", _time.localtime(manifest["created_at"])
+    )
+    print(f"snapshot  : {args.path}")
+    print(f"schema    : version {manifest['schema_version']}")
+    print(f"created   : {created}")
+    print(f"integrity : {'skipped' if args.no_verify else 'verified (sha256)'}")
+    meta = manifest.get("meta", {})
+    if meta:
+        print("meta      :")
+        for key in sorted(meta):
+            print(f"  {key:20s} {meta[key]}")
+    files = manifest.get("files", {})
+    total = sum(info["size"] for info in files.values())
+    print(f"files     : {len(files)} ({total} bytes)")
+    for name in sorted(files):
+        info = files[name]
+        print(f"  {name:20s} {info['size']:>10d}  sha256:{info['sha256'][:12]}…")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.evaluation.runner import prepare_run
+    from repro.serving.audit import AuditLog
+    from repro.serving.metrics import StatsCollector
+    from repro.serving.runner import StreamRunner
+
+    system, stream = prepare_run(
+        args.system,
+        args.dataset,
+        seed=args.seed,
+        segment_length=args.segment_length,
+        oracle_drift=args.oracle,
+    )
+    if not hasattr(system, "attach_observability"):
+        parser.error(
+            f"system {args.system!r} does not expose observability hooks "
+            "(only the FiCSUM family does)"
+        )
+    collector = StatsCollector()
+    audit = AuditLog(args.audit_log) if args.audit_log is not None else None
+    system.attach_observability(metrics=collector, audit=audit)
+    runner = StreamRunner(
+        system, stream, oracle_drift=args.oracle, keep_history=False
+    )
+    result = runner.run(max_observations=args.observations)
+    print(f"system    : {args.system}")
+    print(f"dataset   : {args.dataset} (seed {args.seed})")
+    print(f"processed : {runner.n_seen} observations")
+    print(f"accuracy  : {result.accuracy:.4f}  kappa: {result.kappa:.4f}")
+    summary = collector.summary()
+    if summary["counters"]:
+        print("\ncounters:")
+        for name, value in summary["counters"].items():
+            print(f"  {name:28s} {value:>12d}")
+    if summary["gauges"]:
+        print("\ngauges:")
+        for name, value in summary["gauges"].items():
+            print(f"  {name:28s} {value:>12g}")
+    if summary["histograms"]:
+        print("\nhistograms (seconds):")
+        print(f"  {'name':28s} {'count':>8s} {'mean':>10s} "
+              f"{'p50':>10s} {'p99':>10s} {'max':>10s}")
+        for name, hist in summary["histograms"].items():
+            if not hist["count"]:
+                continue
+            print(f"  {name:28s} {hist['count']:>8d} {hist['mean']:>10.2e} "
+                  f"{hist['p50']:>10.2e} {hist['p99']:>10.2e} "
+                  f"{hist['max']:>10.2e}")
+    if audit is not None:
+        print(f"\naudit log : {args.audit_log} ({audit.seq} events)")
     return 0
 
 
@@ -340,6 +522,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_grid(args, parser)
     if args.command == "report":
         return _cmd_report(args, parser)
+    if args.command == "snapshot":
+        return _cmd_snapshot(args, parser)
+    if args.command == "inspect":
+        return _cmd_inspect(args, parser)
+    if args.command == "metrics":
+        return _cmd_metrics(args, parser)
     if args.command == "datasets":
         return _cmd_datasets()
     if args.command == "features":

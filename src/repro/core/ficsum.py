@@ -25,8 +25,9 @@ Per observation the framework
 
 from __future__ import annotations
 
+import pickle
 from collections import OrderedDict
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -38,6 +39,8 @@ from repro.core.similarity import sim_fast, sim_pairs_many
 from repro.core.weighting import make_weights
 from repro.detectors import Adwin
 from repro.metafeatures import FingerprintPipeline, WindowExtractionCache
+from repro.serving.audit import NULL_AUDIT, AuditLog
+from repro.serving.metrics import NULL_COLLECTOR, StatsCollector
 from repro.system import AdaptiveSystem
 from repro.utils.stats import OnlineMinMax
 from repro.utils.windows import ObservationWindow
@@ -157,6 +160,38 @@ class Ficsum(AdaptiveSystem):
         # record resumes learning anyway (the concept has genuinely
         # moved and no drift was ever confirmed).
         self._freeze_limit = 2 * self._streak_trigger
+        # Observability sinks (no-op by default; attach_observability
+        # swaps in real collectors).  Telemetry only — not checkpointed.
+        self.metrics: StatsCollector = NULL_COLLECTOR
+        self.audit: AuditLog = NULL_AUDIT
+
+    # ------------------------------------------------------------------
+    def attach_observability(
+        self,
+        metrics: Optional[StatsCollector] = None,
+        audit: Optional[AuditLog] = None,
+    ) -> None:
+        """Wire a metrics collector and/or audit log into the framework.
+
+        Also hooks :attr:`Repository.on_evict` so evictions are counted
+        and logged with the victim's id (the payload itself goes to any
+        tiering consumer stacked on the same hook by the caller).
+        """
+        if metrics is not None:
+            self.metrics = metrics
+        if audit is not None:
+            self.audit = audit
+
+        def _on_evict(state_id: int, payload: Dict[str, Any]) -> None:
+            self.metrics.inc("repository.evictions")
+            self.audit.log(
+                "eviction",
+                self._step,
+                state_id=state_id,
+                last_active_step=int(payload["last_active_step"]),
+            )
+
+        self.repository.on_evict = _on_evict
 
     # ------------------------------------------------------------------
     def _new_detector(self) -> Adwin:
@@ -206,6 +241,7 @@ class Ficsum(AdaptiveSystem):
             self.pipeline.push(x, int(y), int(prediction))
         self._step += 1
         self._active.last_active_step = self._step
+        self.metrics.inc("observations")
         self._maintenance()
         return prediction
 
@@ -251,6 +287,7 @@ class Ficsum(AdaptiveSystem):
                 self.pipeline.push_many(xs, ys, preds)
             self._step += m
             self._active.last_active_step = self._step
+            self.metrics.inc("observations", m)
             if state_ids_out is not None:
                 state_ids_out[i : i + m] = self._active.state_id
             self._maintenance()
@@ -294,13 +331,16 @@ class Ficsum(AdaptiveSystem):
                 )
 
         if self._step % cfg.fingerprint_period == 0 and self.window.full:
-            self._fingerprint_step()
+            with self.metrics.timer("phase.fingerprint_step"):
+                self._fingerprint_step()
         if self._step % cfg.repository_period == 0 and self.window.full:
-            self._repository_step()
+            with self.metrics.timer("phase.repository_step"):
+                self._repository_step()
         if self._pending_recheck is not None and self._step >= self._pending_recheck:
             self._pending_recheck = None
             if cfg.second_selection:
-                self._second_selection()
+                with self.metrics.timer("phase.second_selection"):
+                    self._second_selection()
 
     def signal_drift(self) -> None:
         """Oracle drift notification (perfect-detection experiment)."""
@@ -573,12 +613,14 @@ class Ficsum(AdaptiveSystem):
         if not self.window.full:
             return None
         self.selection_events += 1
-        xa, ya, _ = self.window.arrays()
-        candidates = self._candidate_states()
-        if not candidates:
-            return None
-        fps = self._stack_window_fingerprints(xa, ya, candidates)
-        return self._select_from_fingerprints(candidates, fps)
+        self.metrics.inc("selection.events")
+        with self.metrics.timer("selection.latency"):
+            xa, ya, _ = self.window.arrays()
+            candidates = self._candidate_states()
+            if not candidates:
+                return None
+            fps = self._stack_window_fingerprints(xa, ya, candidates)
+            return self._select_from_fingerprints(candidates, fps)
 
     def _stack_window_fingerprints(
         self, xa: np.ndarray, ya: np.ndarray, states: List[ConceptState]
@@ -676,6 +718,7 @@ class Ficsum(AdaptiveSystem):
         )
 
     def _set_active(self, state: ConceptState) -> None:
+        previous_id = self._active.state_id
         self._active = state
         state.last_active_step = self._step
         self._change_marker = state.classifier.change_marker()
@@ -684,6 +727,15 @@ class Ficsum(AdaptiveSystem):
         self._abnormal_streak = 0
         self._freeze_streak = 0
         self.detector = self._new_detector()
+        if previous_id != state.state_id:
+            self.metrics.inc("concept.transitions")
+            self.metrics.gauge("repository.size", len(self.repository))
+            self.audit.log(
+                "concept_transition",
+                self._step,
+                from_state=previous_id,
+                to_state=state.state_id,
+            )
 
     def _new_concept_state(self) -> ConceptState:
         """A fresh stored concept; eviction protects the active state.
@@ -696,7 +748,7 @@ class Ficsum(AdaptiveSystem):
         protect = (
             (self._active.state_id,) if cfg.max_repository_size > 1 else ()
         )
-        return self.repository.new_state(
+        state = self.repository.new_state(
             self.n_dims,
             self._new_classifier(),
             step=self._step,
@@ -704,9 +756,13 @@ class Ficsum(AdaptiveSystem):
             sim_record_decay=cfg.sim_record_decay,
             protect=protect,
         )
+        self.metrics.inc("concept.created")
+        return state
 
     def _on_drift(self) -> None:
         self.drift_points.append(self._step)
+        self.metrics.inc("drift.events")
+        self.audit.log("drift", self._step, n_drifts=len(self.drift_points))
         selected = self._model_select()
         if selected is None:
             new_state = self._new_concept_state()
@@ -827,6 +883,89 @@ class Ficsum(AdaptiveSystem):
         sims = sim_pairs_many(scaled_means, scaled_fps, self._weights)
         mus, sigmas = self._gated_records_many(tracked)
         return (sims - mus) / sigmas
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Every mutable value a resumed run reads, captured verbatim.
+
+        Pure caches are deliberately absent: the per-step gated-record
+        memo and shared-window extraction cache are keyed on the step
+        counter (snapshots are taken between observations, so future
+        events use later keys), and the repository's fingerprint matrix
+        / classifier bank mirrors rebuild lazily and bit-identically
+        from the restored states.
+        """
+        fa_keys = np.fromiter(self._fa_cache.keys(), dtype=np.int64)
+        if len(self._fa_cache):
+            fa_values = np.stack(list(self._fa_cache.values()))
+        else:
+            fa_values = np.empty((0, self.n_dims))
+        return {
+            "step": self._step,
+            "classifier_seed": self._classifier_seed,
+            "weights": self._weights.copy(),
+            "weights_version": self._weights_version,
+            "selection_events": self.selection_events,
+            "active_state_id": self._active.state_id,
+            "change_marker": self._change_marker,
+            "pending_recheck": self._pending_recheck,
+            "created_at_drift": self._created_at_drift,
+            "drift_points": np.asarray(self.drift_points, dtype=np.int64),
+            "discrimination_samples": np.asarray(
+                self.discrimination_samples, dtype=np.float64
+            ),
+            "switch_step": self._switch_step,
+            "freeze_streak": self._freeze_streak,
+            "abnormal_streak": self._abnormal_streak,
+            "fa_cache_keys": fa_keys,
+            "fa_cache_values": fa_values,
+            "pipeline": self.pipeline.state_dict(),
+            "normalizer": self.normalizer.state_dict(),
+            "window": self.window.state_dict(),
+            "repository": self.repository.state_dict(),
+            # ADWIN's bucket compression is opaque internal structure;
+            # the whole detector travels as a pickle blob.
+            "detector": pickle.dumps(self.detector),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._step = int(state["step"])
+        self._classifier_seed = int(state["classifier_seed"])
+        self._weights = np.asarray(state["weights"], dtype=np.float64).copy()
+        self._weights_version = int(state["weights_version"])
+        self.selection_events = int(state["selection_events"])
+        self._change_marker = int(state["change_marker"])
+        pending = state["pending_recheck"]
+        self._pending_recheck = None if pending is None else int(pending)
+        created = state["created_at_drift"]
+        self._created_at_drift = None if created is None else int(created)
+        self.drift_points = [int(p) for p in np.asarray(state["drift_points"])]
+        self.discrimination_samples = [
+            float(s) for s in np.asarray(state["discrimination_samples"])
+        ]
+        self._switch_step = int(state["switch_step"])
+        self._freeze_streak = int(state["freeze_streak"])
+        self._abnormal_streak = int(state["abnormal_streak"])
+        fa_keys = np.asarray(state["fa_cache_keys"], dtype=np.int64)
+        fa_values = np.asarray(state["fa_cache_values"], dtype=np.float64)
+        self._fa_cache = OrderedDict(
+            (int(k), fa_values[i].copy()) for i, k in enumerate(fa_keys)
+        )
+        self.pipeline.load_state_dict(state["pipeline"])
+        self.normalizer.load_state_dict(state["normalizer"])
+        self.window.load_state_dict(state["window"])
+        self.repository.load_state_dict(state["repository"])
+        self._active = self.repository.get(int(state["active_state_id"]))
+        self.detector = pickle.loads(state["detector"])
+        # Per-step memos restart empty; they are keyed on the (restored)
+        # step counter, so every future lookup misses exactly as the
+        # uninterrupted run's would at a new step.
+        self._gated_cache = {}
+        self._gated_cache_step = -1
+        if self._extract_cache is not None:
+            self._extract_cache.invalidate()
 
     def __repr__(self) -> str:
         return (

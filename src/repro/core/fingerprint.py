@@ -11,6 +11,8 @@ fingerprint-plasticity mechanism of Section IV.
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 import numpy as np
 
 from repro.utils.stats import OnlineVectorStats
@@ -65,6 +67,12 @@ class ConceptFingerprint:
         clone = ConceptFingerprint(self.n_dims)
         clone._stats = self._stats.copy()
         return clone
+
+    def state_dict(self) -> Dict[str, Any]:
+        return self._stats.state_dict()
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._stats.load_state_dict(state)
 
     def __repr__(self) -> str:
         return f"ConceptFingerprint(n_dims={self.n_dims}, count={self.count})"

@@ -29,7 +29,8 @@ active window under all stored classifiers at once.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+import pickle
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -131,6 +132,28 @@ class SimPairRecord:
         for i in range(self.count):
             yield A[i], B[i], float(sims[i])
 
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "a": self.a.copy(),
+            "b": self.b.copy(),
+            "sims": self.sims.copy(),
+            "count": self.count,
+            "next": self._next,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        a = np.asarray(state["a"], dtype=np.float64)
+        if a.shape != (self.capacity, self.n_dims):
+            raise ValueError(
+                f"record state has shape {a.shape}, expected "
+                f"({self.capacity}, {self.n_dims})"
+            )
+        self.a = a.copy()
+        self.b = np.asarray(state["b"], dtype=np.float64).copy()
+        self.sims = np.asarray(state["sims"], dtype=np.float64).copy()
+        self.count = int(state["count"])
+        self._next = int(state["next"])
+
 
 class ConceptState:
     """Everything stored for one concept."""
@@ -192,6 +215,52 @@ class ConceptState:
     def reset_similarity_record(self) -> None:
         self.record_version += 1
         self.sim_stats = EwmaStats(alpha=self.sim_record_decay)
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Complete serialized form of the stored concept.
+
+        The classifier is opaque (arbitrary learner internals), so it
+        travels as a pickle blob; everything else is arrays / scalars.
+        """
+        return {
+            "state_id": self.state_id,
+            "sim_record_decay": self.sim_record_decay,
+            "classifier": pickle.dumps(self.classifier),
+            "fingerprint": self.fingerprint.state_dict(),
+            "nonactive": self.nonactive.state_dict(),
+            "sim_stats": self.sim_stats.state_dict(),
+            "error_stats": self.error_stats.state_dict(),
+            "sim_pairs": self.sim_pairs.state_dict(),
+            "record_version": self.record_version,
+            "last_active_step": self.last_active_step,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.state_id = int(state["state_id"])
+        self.sim_record_decay = float(state["sim_record_decay"])
+        self.classifier = pickle.loads(state["classifier"])
+        self.fingerprint.load_state_dict(state["fingerprint"])
+        self.nonactive.load_state_dict(state["nonactive"])
+        self.sim_stats.load_state_dict(state["sim_stats"])
+        self.error_stats.load_state_dict(state["error_stats"])
+        self.sim_pairs.load_state_dict(state["sim_pairs"])
+        self.record_version = int(state["record_version"])
+        self.last_active_step = int(state["last_active_step"])
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, Any]) -> "ConceptState":
+        """Reconstruct a stored concept from its serialized form."""
+        n_dims = len(np.asarray(state["fingerprint"]["counts"]))
+        capacity = np.asarray(state["sim_pairs"]["a"]).shape[0]
+        concept = cls(
+            int(state["state_id"]),
+            n_dims,
+            classifier=None,  # type: ignore[arg-type]  # replaced by load
+            sim_record_samples=capacity,
+            sim_record_decay=float(state["sim_record_decay"]),
+        )
+        concept.load_state_dict(state)
+        return concept
 
     def __repr__(self) -> str:
         return (
@@ -358,6 +427,11 @@ class Repository:
         self._matrix: Optional[FingerprintMatrix] = None
         self._bank: Optional[ClassifierBank] = None
         self._states_list: Optional[List[ConceptState]] = None
+        #: Optional eviction hook: called with ``(state_id, payload)``
+        #: where ``payload`` is the victim's full serialized form —
+        #: consumers (audit logs, warm/cold tiers) receive the state
+        #: instead of it being silently destroyed.
+        self.on_evict: Optional[Callable[[int, Dict[str, Any]], None]] = None
 
     def new_state(
         self,
@@ -409,6 +483,8 @@ class Repository:
                     f"protected ({sorted(protect)}); nothing can be evicted"
                 )
             victim = min(evictable, key=lambda s: s.last_active_step)
+            if self.on_evict is not None:
+                self.on_evict(victim.state_id, victim.state_dict())
             self._drop(victim.state_id)
 
     def _drop(self, state_id: int) -> None:
@@ -482,3 +558,30 @@ class Repository:
 
     def __len__(self) -> int:
         return len(self._states)
+
+    # -- checkpointing --------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialized repository: stored states in insertion order.
+
+        The :class:`FingerprintMatrix` and
+        :class:`~repro.classifiers.bank.ClassifierBank` mirrors are
+        *not* serialized — they are pure write-through caches rebuilt
+        lazily (and bit-identically) from the restored states, in the
+        same insertion order.
+        """
+        return {
+            "max_size": self.max_size,
+            "next_id": self._next_id,
+            "states": [s.state_dict() for s in self._states.values()],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.max_size = int(state["max_size"])
+        self._next_id = int(state["next_id"])
+        self._states = {}
+        for concept_state in state["states"]:
+            concept = ConceptState.from_state_dict(concept_state)
+            self._states[concept.state_id] = concept
+        self._matrix = None
+        self._bank = None
+        self._states_list = None

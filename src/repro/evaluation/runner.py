@@ -126,7 +126,7 @@ def build_system(
 PAPER_N_REPEATS = 9
 
 
-def run_on_dataset(
+def prepare_run(
     system_name: str,
     dataset_name: str,
     seed: int = 0,
@@ -134,11 +134,13 @@ def run_on_dataset(
     n_repeats: Optional[int] = PAPER_N_REPEATS,
     config: Optional[FicsumConfig] = None,
     oracle_drift: bool = False,
-    keep_history: bool = False,
-) -> RunResult:
-    """One prequential run of a named system on a named dataset.
+):
+    """Build the ``(system, stream)`` pair of one experiment cell.
 
-    ``n_repeats=None`` means the paper protocol (:data:`PAPER_N_REPEATS`).
+    The construction half of :func:`run_on_dataset`, shared with the
+    checkpointed runner (:class:`repro.serving.runner.StreamRunner`),
+    which needs the pair without the run so it can restore state into
+    the system before driving it.
     """
     stream = make_dataset(
         dataset_name,
@@ -155,6 +157,32 @@ def run_on_dataset(
         stream.meta,
         config=config,
         seed=seed,
+    )
+    return system, stream
+
+
+def run_on_dataset(
+    system_name: str,
+    dataset_name: str,
+    seed: int = 0,
+    segment_length: Optional[int] = None,
+    n_repeats: Optional[int] = PAPER_N_REPEATS,
+    config: Optional[FicsumConfig] = None,
+    oracle_drift: bool = False,
+    keep_history: bool = False,
+) -> RunResult:
+    """One prequential run of a named system on a named dataset.
+
+    ``n_repeats=None`` means the paper protocol (:data:`PAPER_N_REPEATS`).
+    """
+    system, stream = prepare_run(
+        system_name,
+        dataset_name,
+        seed=seed,
+        segment_length=segment_length,
+        n_repeats=n_repeats,
+        config=config,
+        oracle_drift=oracle_drift,
     )
     return prequential_run(
         system, stream, oracle_drift=oracle_drift, keep_history=keep_history

@@ -34,33 +34,103 @@ from repro.experiments.artifacts import (
 from repro.experiments.spec import ExperimentSpec, RunCell
 
 
-def _execute_cell(cell_payload: Dict[str, Any]) -> Dict[str, Any]:
+def _execute_cell(
+    cell_payload: Dict[str, Any],
+    checkpoint: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     """Worker entry point: run one cell, return its artifact payload.
 
     Takes and returns plain dicts so the call pickles cheaply across
     process boundaries.  Imports stay inside the worker path so a
     forked/ spawned interpreter registers the built-in systems and
     datasets before building anything.
+
+    ``checkpoint`` (``{"dir": str, "every": int}``) switches the cell
+    onto the checkpointed runner: periodic snapshots land under
+    ``<dir>/<cell-key>`` and a crashed cell resumes from its newest
+    complete snapshot instead of restarting.
     """
     from repro.evaluation.runner import run_on_dataset
 
     cell = RunCell.from_dict(cell_payload)
-    result = run_on_dataset(
-        cell.system,
-        cell.dataset,
-        seed=cell.seed,
-        segment_length=cell.segment_length,
-        n_repeats=cell.n_repeats,  # None -> the runner's paper default
-        config=cell.config(),
-        oracle_drift=cell.oracle,
-        keep_history=False,
-    )
+    if checkpoint is not None:
+        result = _run_cell_checkpointed(cell, checkpoint)
+    else:
+        result = run_on_dataset(
+            cell.system,
+            cell.dataset,
+            seed=cell.seed,
+            segment_length=cell.segment_length,
+            n_repeats=cell.n_repeats,  # None -> the runner's paper default
+            config=cell.config(),
+            oracle_drift=cell.oracle,
+            keep_history=False,
+        )
     return {
         "key": cell.key(),
         "cell": cell.to_dict(),
         "result": result_payload(result),
         "timing": {"runtime_s": result.runtime_s},
     }
+
+
+def _run_cell_checkpointed(
+    cell: RunCell, checkpoint: Dict[str, Any]
+) -> RunResult:
+    """Run one cell with periodic snapshots and crash recovery.
+
+    If a complete snapshot for this cell already exists (a previous
+    engine invocation died mid-cell), the run resumes from it and
+    finishes with traces bit-identical to an uninterrupted run.  An
+    unreadable or incompatible snapshot falls back to a fresh start.
+    The snapshot directory is removed once the cell completes — the
+    cell's JSON artifact then takes over as the durable record.
+    """
+    import shutil
+
+    from repro.evaluation.runner import prepare_run
+    from repro.serving.manifest import SnapshotError
+    from repro.serving.runner import StreamRunner
+
+    def fresh_pair():
+        return prepare_run(
+            cell.system,
+            cell.dataset,
+            seed=cell.seed,
+            segment_length=cell.segment_length,
+            n_repeats=cell.n_repeats,
+            config=cell.config(),
+            oracle_drift=cell.oracle,
+        )
+
+    path = Path(checkpoint["dir"]) / cell.key()
+    every = int(checkpoint["every"])
+    runner: Optional[StreamRunner] = None
+    if path.exists():
+        _system, stream = fresh_pair()
+        try:
+            runner = StreamRunner.restore(
+                path,
+                stream,
+                keep_history=False,
+                checkpoint_path=path,
+                checkpoint_every=every,
+            )
+        except (SnapshotError, ValueError, KeyError, OSError):
+            runner = None  # corrupt/alien snapshot: start over below
+    if runner is None:
+        system, stream = fresh_pair()
+        runner = StreamRunner(
+            system,
+            stream,
+            oracle_drift=cell.oracle,
+            keep_history=False,
+            checkpoint_path=path,
+            checkpoint_every=every,
+        )
+    result = runner.run()
+    shutil.rmtree(path, ignore_errors=True)
+    return result
 
 
 @dataclass(frozen=True)
@@ -102,6 +172,12 @@ class Engine:
     progress:
         Optional callback receiving :class:`ProgressEvent` for every
         cached / started / finished cell.
+    checkpoint_every:
+        Snapshot each in-flight cell every N observations (under
+        ``<results_dir>/checkpoints/<cell-key>``) so a killed grid
+        resumes mid-cell, not just at cell granularity.  Requires
+        ``results_dir``; ``None`` (the default) disables intra-cell
+        checkpointing.
     """
 
     def __init__(
@@ -109,12 +185,28 @@ class Engine:
         results_dir: Union[None, str, Path] = None,
         max_workers: int = 1,
         progress: Optional[Callable[[ProgressEvent], None]] = None,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         self.results_dir = Path(results_dir) if results_dir is not None else None
+        if checkpoint_every is not None and self.results_dir is None:
+            raise ValueError("checkpoint_every requires a results_dir")
         self.max_workers = max_workers
         self.progress = progress
+        self.checkpoint_every = checkpoint_every
+
+    def _checkpoint_payload(self) -> Optional[Dict[str, Any]]:
+        if self.checkpoint_every is None:
+            return None
+        return {
+            "dir": str(self.results_dir / "checkpoints"),
+            "every": self.checkpoint_every,
+        }
 
     def _emit(self, kind: str, cell: RunCell, index: int, total: int) -> None:
         if self.progress is not None:
@@ -162,14 +254,15 @@ class Engine:
                 pending[key] = [index]
 
         todo = [(indices[0], cells[indices[0]]) for indices in pending.values()]
+        checkpoint = self._checkpoint_payload()
         if self.max_workers == 1 or len(todo) <= 1:
             for index, cell in todo:
                 self._emit("start", cell, index, total)
-                payload = _execute_cell(cell.to_dict())
+                payload = _execute_cell(cell.to_dict(), checkpoint)
                 artifacts[index] = self._finish(payload, spec_hash)
                 self._emit("done", cell, index, total)
         else:
-            self._run_pool(todo, artifacts, spec_hash, total)
+            self._run_pool(todo, artifacts, spec_hash, total, checkpoint)
 
         # Fan shared results out to duplicate cells.
         for key, indices in pending.items():
@@ -192,12 +285,13 @@ class Engine:
         artifacts: List[Optional[RunArtifact]],
         spec_hash: str,
         total: int,
+        checkpoint: Optional[Dict[str, Any]] = None,
     ) -> None:
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
             futures = {}
             for index, cell in todo:
                 self._emit("start", cell, index, total)
-                futures[pool.submit(_execute_cell, cell.to_dict())] = (index, cell)
+                futures[pool.submit(_execute_cell, cell.to_dict(), checkpoint)] = (index, cell)
             outstanding = set(futures)
             while outstanding:
                 done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
@@ -236,8 +330,12 @@ def run_experiment(
     results_dir: Union[None, str, Path] = None,
     max_workers: int = 1,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> GridResult:
     """One-call convenience wrapper around :class:`Engine`."""
     return Engine(
-        results_dir=results_dir, max_workers=max_workers, progress=progress
+        results_dir=results_dir,
+        max_workers=max_workers,
+        progress=progress,
+        checkpoint_every=checkpoint_every,
     ).run(spec)

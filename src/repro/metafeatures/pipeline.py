@@ -46,8 +46,9 @@ Three extraction paths share one schema:
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -356,6 +357,42 @@ class FingerprintPipeline:
     def n_observed(self) -> int:
         """Observations currently held by the rolling accumulators."""
         return 0 if self._rolling is None else self._rolling.count
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """All mutable pipeline state: accumulators and the rng.
+
+        The rng advances with every permutation-importance draw, so
+        restoring its bit-generator state is required for bit-for-bit
+        resumed extraction.
+        """
+        state: Dict[str, Any] = {
+            "rng": pickle.dumps(self._rng.bit_generator.state),
+        }
+        if self._rolling is not None:
+            state["rolling"] = self._rolling.state_dict()
+        if self._error_tracker is not None:
+            state["error_tracker"] = self._error_tracker.state_dict()
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._rng.bit_generator.state = pickle.loads(state["rng"])
+        if "rolling" in state:
+            if self._rolling is None:
+                raise ValueError(
+                    "state holds rolling accumulators but the pipeline "
+                    "has no attached window"
+                )
+            self._rolling.load_state_dict(state["rolling"])
+        if "error_tracker" in state:
+            if self._error_tracker is None:
+                raise ValueError(
+                    "state holds an error tracker but the pipeline "
+                    "does not track error distances"
+                )
+            self._error_tracker.load_state_dict(state["error_tracker"])
 
     # ------------------------------------------------------------------
     # Extraction

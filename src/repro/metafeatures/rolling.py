@@ -37,7 +37,7 @@ cheaper than numpy for a single row), fed by
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -254,6 +254,40 @@ class RollingWindowStats:
             return np.zeros(self.n_rows)
         return self._turn_count / (n - 2)
 
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "ring": self._ring.state_dict(),
+            "turn": self._turn.state_dict(),
+            "k": self._k.copy(),
+            "s1": self._s1.copy(),
+            "s2": self._s2.copy(),
+            "s3": self._s3.copy(),
+            "s4": self._s4.copy(),
+            "p1": self._p1.copy(),
+            "p2": self._p2.copy(),
+            "turn_count": self._turn_count.copy(),
+            "since_refresh": self._since_refresh,
+            "gen": self._gen,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._ring.load_state_dict(state["ring"])
+        self._turn.load_state_dict(state["turn"])
+        self._k = np.asarray(state["k"], dtype=np.float64).copy()
+        self._s1 = np.asarray(state["s1"], dtype=np.float64).copy()
+        self._s2 = np.asarray(state["s2"], dtype=np.float64).copy()
+        self._s3 = np.asarray(state["s3"], dtype=np.float64).copy()
+        self._s4 = np.asarray(state["s4"], dtype=np.float64).copy()
+        self._p1 = np.asarray(state["p1"], dtype=np.float64).copy()
+        self._p2 = np.asarray(state["p2"], dtype=np.float64).copy()
+        self._turn_count = np.asarray(state["turn_count"], dtype=np.int64).copy()
+        self._since_refresh = int(state["since_refresh"])
+        self._gen = int(state["gen"])
+        # Memo caches regenerate from the restored sums on first read —
+        # bit-identical, so dropping them preserves equivalence.
+        self._moment_cache = None
+        self._acf_cache = None
+
 
 class GapStats:
     """Rolling scalar statistics over a variable-length sequence.
@@ -443,6 +477,37 @@ class GapStats:
             return 0.0
         return self._turn_count / (n - 2)
 
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "values": np.asarray(self._values, dtype=np.float64),
+            "turns": np.asarray(self._turns, dtype=np.int64),
+            "k": self._k,
+            "s1": self._s1,
+            "s2": self._s2,
+            "s3": self._s3,
+            "s4": self._s4,
+            "p1": self._p1,
+            "p2": self._p2,
+            "turn_count": self._turn_count,
+            "since_refresh": self._since_refresh,
+            "gen": self._gen,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._values = deque(float(v) for v in np.asarray(state["values"]))
+        self._turns = deque(int(t) for t in np.asarray(state["turns"]))
+        self._k = float(state["k"])
+        self._s1 = float(state["s1"])
+        self._s2 = float(state["s2"])
+        self._s3 = float(state["s3"])
+        self._s4 = float(state["s4"])
+        self._p1 = float(state["p1"])
+        self._p2 = float(state["p2"])
+        self._turn_count = int(state["turn_count"])
+        self._since_refresh = int(state["since_refresh"])
+        self._gen = int(state["gen"])
+        self._acf_cache = (-1, 0.0, 0.0)
+
 
 class ErrorDistanceTracker:
     """Sliding record of distances between consecutive errors.
@@ -493,6 +558,18 @@ class ErrorDistanceTracker:
             return np.array([float(self.window_size)])
         pos: List[int] = list(self._positions)
         return np.diff(np.asarray(pos, dtype=np.float64))
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "positions": np.asarray(self._positions, dtype=np.int64),
+            "stats": self.stats.state_dict(),
+            "t": self._t,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._positions = deque(int(p) for p in np.asarray(state["positions"]))
+        self.stats.load_state_dict(state["stats"])
+        self._t = int(state["t"])
 
 
 __all__ = ["RollingWindowStats", "GapStats", "ErrorDistanceTracker"]

@@ -1,0 +1,69 @@
+"""Serving layer: checkpoints, resumable runs and observability.
+
+Two halves:
+
+* **Checkpointing** — :mod:`repro.serving.snapshot` and
+  :mod:`repro.serving.manifest` serialize the full adaptive-system
+  state (repository, rolling accumulators, window rings, detector,
+  rng positions) into versioned, hash-verified on-disk artifacts, and
+  :mod:`repro.serving.runner` drives checkpointed prequential runs
+  that resume **bit-for-bit** after an interruption.
+* **Observability** — :mod:`repro.serving.metrics` (counters / gauges /
+  histograms behind a near-zero-overhead null default) and
+  :mod:`repro.serving.audit` (append-only JSONL event log).
+
+The observability modules have no dependencies on the core framework
+and import eagerly; the snapshot/runner half imports the core (which
+itself imports the observability half), so it loads lazily (PEP 562)
+to keep the package cycle-free.
+"""
+
+from repro.serving.audit import NULL_AUDIT, AuditLog, NullAuditLog, read_audit_log
+from repro.serving.manifest import SCHEMA_VERSION, SnapshotError, read_manifest
+from repro.serving.metrics import (
+    NULL_COLLECTOR,
+    Histogram,
+    NullStatsCollector,
+    StatsCollector,
+)
+
+#: Lazily-imported members (PEP 562) — these pull in the core framework.
+_LAZY_EXPORTS = {
+    "write_state": "repro.serving.snapshot",
+    "read_state": "repro.serving.snapshot",
+    "save_system": "repro.serving.snapshot",
+    "load_system": "repro.serving.snapshot",
+    "system_payload": "repro.serving.snapshot",
+    "system_from_payload": "repro.serving.snapshot",
+    "StreamRunner": "repro.serving.runner",
+    "prepare_run": "repro.evaluation.runner",
+}
+
+__all__ = [
+    "AuditLog",
+    "NullAuditLog",
+    "NULL_AUDIT",
+    "read_audit_log",
+    "StatsCollector",
+    "NullStatsCollector",
+    "NULL_COLLECTOR",
+    "Histogram",
+    "SnapshotError",
+    "SCHEMA_VERSION",
+    "read_manifest",
+] + sorted(_LAZY_EXPORTS)
+
+
+def __getattr__(name):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_LAZY_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,309 @@
+"""Checkpointed prequential runs with bit-for-bit resume.
+
+:class:`StreamRunner` is a resumable counterpart of
+:func:`repro.evaluation.prequential.prequential_run`: it drives the
+same test-then-train loop (per-observation or chunked, oracle drift
+signals at ground-truth boundaries) but keeps every piece of harness
+state — confusion matrix, trace lists, stream position, accumulated
+runtime — as restorable state, so a run interrupted at observation T
+and restored from its checkpoint finishes with traces **identical** to
+the uninterrupted run.
+
+Two loop details make that exact:
+
+* The limit check happens *before* the next observation is pulled, so
+  a paused resumable iterator never loses the observation the plain
+  loop pulls-then-discards at its ``max_observations`` break.
+* In chunked mode the buffer is flushed before every checkpoint, so a
+  snapshot never holds half-processed observations.  The resulting
+  sub-chunk boundaries can differ from an uninterrupted chunked run —
+  which is exactly the boundary-invariance the chunked engine already
+  pins against the per-observation path.
+
+Checkpoints are snapshot directories (:mod:`repro.serving.snapshot`)
+holding the system payload plus the harness state; periodic saving is
+driven by ``checkpoint_every`` and crash recovery is one
+:meth:`StreamRunner.restore` from the newest complete artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.evaluation.metrics import ConfusionMatrix
+from repro.evaluation.prequential import RunResult, _build_result
+from repro.serving.audit import NULL_AUDIT
+from repro.serving.metrics import NULL_COLLECTOR
+from repro.serving.snapshot import load_system, save_system
+from repro.streams.base import ResumableIterator, Stream
+from repro.system import AdaptiveSystem
+
+
+class StreamRunner:
+    """A pausable, checkpointable prequential run."""
+
+    def __init__(
+        self,
+        system: AdaptiveSystem,
+        stream: Stream,
+        *,
+        oracle_drift: bool = False,
+        chunk_size: Optional[int] = None,
+        keep_history: bool = True,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: Optional[int] = None,
+    ) -> None:
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.system = system
+        self.stream = stream
+        self.oracle_drift = oracle_drift
+        self.chunk_size = chunk_size
+        self.keep_history = keep_history
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        resumable = stream.iter_resumable()
+        self._iter = resumable if resumable is not None else iter(stream)
+        self._resumable = resumable is not None
+        self._confusion = ConfusionMatrix(stream.meta.n_classes)
+        # History always accumulates (C-F1 and n_states need the full
+        # traces); keep_history only controls the returned result.
+        self._concept_ids: List[int] = []
+        self._state_ids: List[int] = []
+        self._previous_concept: Optional[int] = None
+        self._buf_concept: Optional[int] = None
+        self._n_seen = 0
+        self._runtime = 0.0
+        self._exhausted = False
+        self._last_checkpoint = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_seen(self) -> int:
+        return self._n_seen
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    def run(self, max_observations: Optional[int] = None) -> RunResult:
+        """Drive until the stream ends or ``max_observations`` in total.
+
+        The limit counts *all* observations this runner has processed
+        (across every ``run`` call), so ``run(T)`` then ``run()`` is the
+        interrupted-then-resumed version of one full run.
+        """
+        start = time.perf_counter()
+        try:
+            if self.chunk_size is None:
+                self._run_per_observation(max_observations)
+            else:
+                self._run_chunked(max_observations)
+        finally:
+            self._runtime += time.perf_counter() - start
+        return self.result()
+
+    def _run_per_observation(self, limit: Optional[int]) -> None:
+        system = self.system
+        while limit is None or self._n_seen < limit:
+            try:
+                x, y, concept_id = next(self._iter)
+            except StopIteration:
+                self._exhausted = True
+                break
+            if (
+                self.oracle_drift
+                and self._previous_concept is not None
+                and concept_id != self._previous_concept
+            ):
+                system.signal_drift()
+            self._previous_concept = concept_id
+            prediction = system.process(x, y)
+            self._confusion.update(y, prediction)
+            self._concept_ids.append(concept_id)
+            self._state_ids.append(system.active_state_id)
+            self._n_seen += 1
+            self._maybe_checkpoint()
+
+    def _run_chunked(self, limit: Optional[int]) -> None:
+        system = self.system
+        buf_x: List[np.ndarray] = []
+        buf_y: List[int] = []
+
+        def flush() -> None:
+            if not buf_x:
+                return
+            X = np.stack(buf_x)
+            Y = np.asarray(buf_y, dtype=np.int64)
+            sids = np.empty(len(Y), dtype=np.int64)
+            predictions = system.process_chunk(X, Y, state_ids_out=sids)
+            self._confusion.update_many(Y, predictions)
+            self._concept_ids.extend([self._buf_concept] * len(Y))
+            self._state_ids.extend(int(s) for s in sids)
+            self._n_seen += len(Y)
+            buf_x.clear()
+            buf_y.clear()
+
+        while limit is None or self._n_seen + len(buf_x) < limit:
+            # Checkpoints may only happen when every pulled observation
+            # is fully processed — i.e. before the next pull, with the
+            # buffer flushed.  The extra flush can shift sub-chunk
+            # boundaries, which is exactly the invariance the chunked
+            # engine pins against the per-observation path.
+            if self._checkpoint_due(len(buf_x)):
+                flush()
+                self.save_checkpoint()
+            try:
+                x, y, concept_id = next(self._iter)
+            except StopIteration:
+                self._exhausted = True
+                break
+            if self._buf_concept is None:
+                self._buf_concept = concept_id
+            elif concept_id != self._buf_concept:
+                flush()
+                if self.oracle_drift:
+                    system.signal_drift()
+                self._buf_concept = concept_id
+            elif len(buf_x) >= self.chunk_size:
+                flush()
+            buf_x.append(x)
+            buf_y.append(y)
+        flush()
+        self._maybe_checkpoint()
+
+    def result(self) -> RunResult:
+        return _build_result(
+            self.system,
+            self._confusion,
+            self._concept_ids,
+            self._state_ids,
+            self._runtime,
+            self._n_seen,
+            self.keep_history,
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _checkpoint_due(self, buffered: int = 0) -> bool:
+        return (
+            self.checkpoint_path is not None
+            and self.checkpoint_every is not None
+            and self._n_seen + buffered - self._last_checkpoint
+            >= self.checkpoint_every
+        )
+
+    def _maybe_checkpoint(self) -> None:
+        if self._checkpoint_due():
+            self.save_checkpoint()
+
+    def _harness_state(self) -> Dict[str, Any]:
+        state: Dict[str, Any] = {
+            "n_seen": self._n_seen,
+            "runtime": self._runtime,
+            "confusion": self._confusion.matrix.copy(),
+            "concept_ids": np.asarray(self._concept_ids, dtype=np.int64),
+            "state_ids": np.asarray(self._state_ids, dtype=np.int64),
+            "previous_concept": self._previous_concept,
+            "buf_concept": self._buf_concept,
+            "exhausted": self._exhausted,
+            "oracle_drift": self.oracle_drift,
+            "chunk_size": self.chunk_size,
+        }
+        if self._resumable:
+            state["stream_iter"] = self._iter.state_dict()
+        return state
+
+    def save_checkpoint(
+        self, path: Optional[Union[str, Path]] = None
+    ) -> Path:
+        """Snapshot the system plus all harness state to ``path``.
+
+        Chunked runners must only save at sub-chunk boundaries (the
+        internal loop guarantees this); a snapshot never holds buffered
+        observations.
+        """
+        target = Path(path) if path is not None else self.checkpoint_path
+        if target is None:
+            raise ValueError("no checkpoint path configured")
+        metrics = getattr(self.system, "metrics", NULL_COLLECTOR)
+        audit = getattr(self.system, "audit", NULL_AUDIT)
+        start = time.perf_counter()
+        result = save_system(
+            self.system,
+            target,
+            extra_state=self._harness_state(),
+            meta={"artifact": "checkpoint", "n_seen": self._n_seen},
+        )
+        self._last_checkpoint = self._n_seen
+        metrics.inc("checkpoints")
+        if metrics.enabled:
+            metrics.observe(
+                "checkpoint.save_seconds", time.perf_counter() - start
+            )
+        audit.log("checkpoint", self._n_seen, path=str(target))
+        return result
+
+    @classmethod
+    def restore(
+        cls,
+        path: Union[str, Path],
+        stream: Stream,
+        *,
+        keep_history: bool = True,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: Optional[int] = None,
+        verify: bool = True,
+    ) -> "StreamRunner":
+        """Rebuild a runner from a checkpoint, positioned to continue.
+
+        ``stream`` must be constructed with the same parameters as the
+        checkpointed run's (schedule and concepts are deterministic
+        given those); its iterator is then seeked to the captured
+        position.  Run options (oracle drift, chunking) come from the
+        checkpoint itself.
+        """
+        system, extra, _meta = load_system(path, verify=verify)
+        if extra is None:
+            raise ValueError(f"snapshot at {path} holds no harness state")
+        chunk_size = extra["chunk_size"]
+        runner = cls(
+            system,
+            stream,
+            oracle_drift=bool(extra["oracle_drift"]),
+            chunk_size=None if chunk_size is None else int(chunk_size),
+            keep_history=keep_history,
+            checkpoint_path=checkpoint_path if checkpoint_path is not None else path,
+            checkpoint_every=checkpoint_every,
+        )
+        runner._n_seen = int(extra["n_seen"])
+        runner._runtime = float(extra["runtime"])
+        runner._confusion.matrix[:] = np.asarray(
+            extra["confusion"], dtype=np.int64
+        )
+        runner._concept_ids = [int(c) for c in np.asarray(extra["concept_ids"])]
+        runner._state_ids = [int(s) for s in np.asarray(extra["state_ids"])]
+        previous = extra["previous_concept"]
+        runner._previous_concept = None if previous is None else int(previous)
+        buffered = extra["buf_concept"]
+        runner._buf_concept = None if buffered is None else int(buffered)
+        runner._exhausted = bool(extra["exhausted"])
+        runner._last_checkpoint = runner._n_seen
+        if "stream_iter" in extra:
+            if not runner._resumable:
+                raise ValueError(
+                    "checkpoint captured a stream position but this "
+                    "stream is not resumable"
+                )
+            runner._iter.load_state_dict(extra["stream_iter"])
+        return runner
+
+
+__all__ = ["StreamRunner"]

@@ -1,0 +1,238 @@
+"""Snapshot serialization: state trees to versioned on-disk artifacts.
+
+The core classes describe their mutable state as plain nested dicts
+(see the ``state_dict`` convention in :mod:`repro.utils.stats`); this
+module packs one such tree into a snapshot directory:
+
+* ``arrays.npz``  — every ndarray leaf, keyed by position (``np.savez``
+  round-trips float64/int64 bit-exactly),
+* ``objects.pkl`` — the opaque ``bytes`` leaves (pickled classifiers,
+  detector state, rng states) as one pickled list,
+* ``state.json``  — the tree skeleton, with ndarray leaves replaced by
+  ``{"__array__": key}`` and bytes leaves by ``{"__blob__": index}``
+  sentinels (Python's JSON float round-trip is exact for doubles, so
+  scalar leaves also restore bit-for-bit),
+* ``manifest.json`` — written **last** (see
+  :mod:`repro.serving.manifest`): schema version, content hashes and
+  caller metadata.
+
+Writes are atomic at the directory level: everything lands in a
+``<path>.tmp`` sibling which replaces the target only once complete,
+so an interrupted save can never shadow a good previous snapshot.
+
+On top of the tree codec sit the system-level helpers
+:func:`save_system` / :func:`load_system`, which capture enough
+constructor context (stream metadata + config overrides) to rebuild a
+:class:`~repro.core.ficsum.Ficsum` from scratch and load its state —
+and fall back to whole-object pickling for any other
+:class:`~repro.system.AdaptiveSystem`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.serving.manifest import (
+    SnapshotError,
+    read_manifest,
+    write_manifest,
+)
+
+ARRAYS_NAME = "arrays.npz"
+OBJECTS_NAME = "objects.pkl"
+STATE_NAME = "state.json"
+
+
+# ----------------------------------------------------------------------
+# Tree codec
+# ----------------------------------------------------------------------
+def _pack(
+    node: Any, arrays: Dict[str, np.ndarray], blobs: List[bytes]
+) -> Any:
+    """Recursively replace ndarray/bytes leaves with sentinels."""
+    if isinstance(node, np.ndarray):
+        key = f"a{len(arrays)}"
+        arrays[key] = node
+        return {"__array__": key}
+    if isinstance(node, (bytes, bytearray)):
+        blobs.append(bytes(node))
+        return {"__blob__": len(blobs) - 1}
+    if isinstance(node, dict):
+        return {str(k): _pack(v, arrays, blobs) for k, v in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_pack(v, arrays, blobs) for v in node]
+    if isinstance(node, np.generic):
+        return node.item()
+    if node is None or isinstance(node, (bool, int, float, str)):
+        return node
+    raise SnapshotError(
+        f"state tree holds an unserializable leaf of type {type(node).__name__}"
+    )
+
+
+def _unpack(node: Any, arrays: Any, blobs: List[bytes]) -> Any:
+    if isinstance(node, dict):
+        if "__array__" in node and len(node) == 1:
+            return arrays[node["__array__"]]
+        if "__blob__" in node and len(node) == 1:
+            return blobs[node["__blob__"]]
+        return {k: _unpack(v, arrays, blobs) for k, v in node.items()}
+    if isinstance(node, list):
+        return [_unpack(v, arrays, blobs) for v in node]
+    return node
+
+
+# ----------------------------------------------------------------------
+# Directory artifacts
+# ----------------------------------------------------------------------
+def write_state(
+    path: Union[str, Path],
+    state: Dict[str, Any],
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write one state tree as a complete snapshot directory.
+
+    Atomic: the artifact is assembled in ``<path>.tmp`` and moved over
+    the target only once the manifest (the completeness marker) is on
+    disk.  An existing snapshot at ``path`` is replaced.
+    """
+    import json
+
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir(parents=True)
+    try:
+        arrays: Dict[str, np.ndarray] = {}
+        blobs: List[bytes] = []
+        skeleton = _pack(state, arrays, blobs)
+        np.savez(tmp / ARRAYS_NAME, **arrays)
+        with (tmp / OBJECTS_NAME).open("wb") as fh:
+            pickle.dump(blobs, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        with (tmp / STATE_NAME).open("w", encoding="utf-8") as fh:
+            json.dump(skeleton, fh)
+        write_manifest(tmp, meta)
+        if path.exists():
+            shutil.rmtree(path)
+        os.replace(tmp, path)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return path
+
+
+def read_state(
+    path: Union[str, Path], verify: bool = True
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Load ``(state, meta)`` from a snapshot directory.
+
+    ``verify`` checks every payload's content hash against the manifest
+    before deserializing anything.
+    """
+    import json
+
+    path = Path(path)
+    if not path.is_dir():
+        raise SnapshotError(f"no snapshot directory at {path}")
+    manifest = read_manifest(path, verify=verify)
+    try:
+        with np.load(path / ARRAYS_NAME) as npz:
+            arrays = {key: npz[key] for key in npz.files}
+        with (path / OBJECTS_NAME).open("rb") as fh:
+            blobs = pickle.load(fh)
+        with (path / STATE_NAME).open("r", encoding="utf-8") as fh:
+            skeleton = json.load(fh)
+    except (OSError, ValueError, pickle.UnpicklingError) as exc:
+        raise SnapshotError(f"corrupt snapshot payload at {path}: {exc}")
+    state = _unpack(skeleton, arrays, blobs)
+    return state, manifest.get("meta", {})
+
+
+# ----------------------------------------------------------------------
+# System-level snapshots
+# ----------------------------------------------------------------------
+def system_payload(system: Any) -> Dict[str, Any]:
+    """The serialized form of an adaptive system.
+
+    :class:`~repro.core.ficsum.Ficsum` (all its restricted variants are
+    plain ``Ficsum`` under different configs) serializes as constructor
+    context + ``state_dict``; anything else falls back to one pickle
+    blob of the whole object.
+    """
+    from repro.core.ficsum import Ficsum
+
+    if isinstance(system, Ficsum):
+        return {
+            "kind": "ficsum",
+            "n_features": system.n_features,
+            "n_classes": system.n_classes,
+            "config_overrides": system.config.overrides(),
+            "config_seed": system.config.seed,
+            "state": system.state_dict(),
+        }
+    return {"kind": "pickled", "blob": pickle.dumps(system)}
+
+
+def system_from_payload(payload: Dict[str, Any]) -> Any:
+    """Rebuild an adaptive system from :func:`system_payload` output."""
+    kind = payload.get("kind")
+    if kind == "ficsum":
+        from repro.core.config import FicsumConfig
+        from repro.core.ficsum import Ficsum
+
+        overrides = dict(payload["config_overrides"])
+        overrides["seed"] = int(payload["config_seed"])
+        cfg = FicsumConfig.from_overrides(overrides)
+        system = Ficsum(
+            int(payload["n_features"]), int(payload["n_classes"]), cfg
+        )
+        system.load_state_dict(payload["state"])
+        return system
+    if kind == "pickled":
+        return pickle.loads(payload["blob"])
+    raise SnapshotError(f"unknown system snapshot kind {kind!r}")
+
+
+def save_system(
+    system: Any,
+    path: Union[str, Path],
+    extra_state: Optional[Dict[str, Any]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Snapshot a system (plus optional harness state) to ``path``."""
+    state: Dict[str, Any] = {"system": system_payload(system)}
+    if extra_state is not None:
+        state["extra"] = extra_state
+    full_meta = {"artifact": "adaptive-system"}
+    full_meta.update(meta or {})
+    return write_state(path, state, full_meta)
+
+
+def load_system(
+    path: Union[str, Path], verify: bool = True
+) -> Tuple[Any, Optional[Dict[str, Any]], Dict[str, Any]]:
+    """Load ``(system, extra_state, meta)`` from :func:`save_system`."""
+    state, meta = read_state(path, verify=verify)
+    system = system_from_payload(state["system"])
+    return system, state.get("extra"), meta
+
+
+__all__ = [
+    "ARRAYS_NAME",
+    "OBJECTS_NAME",
+    "STATE_NAME",
+    "SnapshotError",
+    "write_state",
+    "read_state",
+    "system_payload",
+    "system_from_payload",
+    "save_system",
+    "load_system",
+]

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import pickle
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -58,6 +59,39 @@ class ConceptGenerator(ABC):
         return xs, ys
 
 
+def generator_state(rng: np.random.Generator) -> bytes:
+    """The full bit-generator state of a numpy Generator, as a blob.
+
+    Restoring it with :func:`restore_generator_state` makes the
+    generator continue its draw sequence exactly where it left off —
+    the piece of the puzzle that makes synthetic streams seekable.
+    """
+    return pickle.dumps(rng.bit_generator.state)
+
+
+def restore_generator_state(rng: np.random.Generator, blob: bytes) -> None:
+    """Restore a Generator to a :func:`generator_state` capture."""
+    rng.bit_generator.state = pickle.loads(blob)
+
+
+class ResumableIterator(Iterator[Observation], ABC):
+    """A stream iterator whose exact position can be saved and restored.
+
+    ``state_dict`` captures everything the iterator reads to produce
+    its next observation — rng bit-generator state, schedule position,
+    any temporal concept memory — and ``load_state_dict`` restores it
+    so the resumed iterator yields the identical remaining sequence.
+    """
+
+    @abstractmethod
+    def state_dict(self) -> Dict[str, Any]:
+        """The iterator's complete position, as a plain state tree."""
+
+    @abstractmethod
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` capture exactly."""
+
+
 class Stream(ABC):
     """An iterable of observations with attached metadata."""
 
@@ -69,3 +103,13 @@ class Stream(ABC):
     @abstractmethod
     def __iter__(self) -> Iterator[Observation]:
         """Yield ``(x, y, concept_id)`` triples."""
+
+    def iter_resumable(self) -> Optional[ResumableIterator]:
+        """A seekable iterator over this stream, or ``None``.
+
+        Streams that can expose their rng / position state return a
+        :class:`ResumableIterator` yielding exactly what ``__iter__``
+        would; others (true unseekable sources) return ``None`` and
+        checkpointed runs fall back to a fresh start on restore.
+        """
+        return None

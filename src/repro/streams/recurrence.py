@@ -10,11 +10,20 @@ pool of concept generators through it.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+import pickle
+from typing import Any, Dict, Iterator, List, Sequence
 
 import numpy as np
 
-from repro.streams.base import ConceptGenerator, Observation, Stream, StreamMeta
+from repro.streams.base import (
+    ConceptGenerator,
+    Observation,
+    ResumableIterator,
+    Stream,
+    StreamMeta,
+    generator_state,
+    restore_generator_state,
+)
 
 
 def build_schedule(
@@ -123,10 +132,59 @@ class RecurrentStream(Stream):
         ]
 
     def __iter__(self) -> Iterator[Observation]:
-        rng = np.random.default_rng(self.seed + 7919)
-        for concept_id in self.schedule:
-            concept = self.concepts[concept_id]
+        return RecurrentStreamIterator(self)
+
+    def iter_resumable(self) -> "RecurrentStreamIterator":
+        """Recurrent streams are fully seekable (rng + position state)."""
+        return RecurrentStreamIterator(self)
+
+
+class RecurrentStreamIterator(ResumableIterator):
+    """Seekable iterator over a :class:`RecurrentStream`.
+
+    The single iteration implementation for recurrent streams (plain
+    ``iter(stream)`` uses it too, so the resumable and throwaway paths
+    cannot diverge).  Position is ``(segment index, offset)`` plus the
+    sampling rng; concept generators with temporal memory are pickled
+    whole, since their internal state is part of the draw sequence.
+    """
+
+    def __init__(self, stream: RecurrentStream) -> None:
+        self.stream = stream
+        self._rng = np.random.default_rng(stream.seed + 7919)
+        self._seg = 0
+        self._offset = 0
+
+    def __iter__(self) -> "RecurrentStreamIterator":
+        return self
+
+    def __next__(self) -> Observation:
+        stream = self.stream
+        if self._seg >= len(stream.schedule):
+            raise StopIteration
+        concept_id = stream.schedule[self._seg]
+        concept = stream.concepts[concept_id]
+        if self._offset == 0:
             concept.reset_temporal_state()
-            for _ in range(self.segment_length):
-                x, y = concept.sample(rng)
-                yield x, y, concept_id
+        x, y = concept.sample(self._rng)
+        self._offset += 1
+        if self._offset >= stream.segment_length:
+            self._seg += 1
+            self._offset = 0
+        return x, y, concept_id
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "seg": self._seg,
+            "offset": self._offset,
+            "rng": generator_state(self._rng),
+            # Temporal concept memory (autocorrelation carry-over, ...)
+            # is part of the draw sequence and must travel too.
+            "concepts": pickle.dumps(self.stream.concepts),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._seg = int(state["seg"])
+        self._offset = int(state["offset"])
+        restore_generator_state(self._rng, state["rng"])
+        self.stream.concepts = pickle.loads(state["concepts"])

@@ -73,3 +73,23 @@ class AdaptiveSystem(ABC):
     def n_drifts_detected(self) -> int:
         """Number of drifts the system has signalled (0 if not tracked)."""
         return 0
+
+    # -- checkpointing (delegates to the serving layer) -----------------
+    def save_snapshot(self, path) -> "object":
+        """Write this system's full state as a versioned snapshot.
+
+        The artifact is a manifest-verified directory (see
+        :mod:`repro.serving.snapshot`); :meth:`from_snapshot` restores
+        it into a system that continues the stream bit-for-bit.
+        """
+        from repro.serving.snapshot import save_system
+
+        return save_system(self, path)
+
+    @classmethod
+    def from_snapshot(cls, path) -> "AdaptiveSystem":
+        """Reconstruct a system from a :meth:`save_snapshot` artifact."""
+        from repro.serving.snapshot import load_system
+
+        system, _extra, _meta = load_system(path)
+        return system

@@ -21,11 +21,20 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Generic, List, Optional, TypeVar
+from typing import Any, Dict, Generic, List, Optional, TypeVar
 
 import numpy as np
 
 T = TypeVar("T")
+
+#
+# Checkpointing convention (used throughout the code base): mutable
+# state objects expose ``state_dict()`` returning a plain nested dict of
+# arrays / scalars / bytes, and ``load_state_dict(state)`` restoring it
+# exactly.  The serving layer (``repro.serving.snapshot``) packs these
+# trees to disk; restored objects must continue the stream bit-for-bit,
+# so every float, counter and ring position is captured verbatim.
+#
 
 
 class OnlineStats:
@@ -89,6 +98,14 @@ class OnlineStats:
         self.mean = 0.0
         self._m2 = 0.0
 
+    def state_dict(self) -> Dict[str, Any]:
+        return {"count": self.count, "mean": self.mean, "m2": self._m2}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.count = int(state["count"])
+        self.mean = float(state["mean"])
+        self._m2 = float(state["m2"])
+
     def __repr__(self) -> str:
         return f"OnlineStats(count={self.count}, mean={self.mean:.4g}, std={self.std:.4g})"
 
@@ -138,6 +155,20 @@ class EwmaStats:
         self.count = 0
         self.mean = 0.0
         self._var = 0.0
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "alpha": self.alpha,
+            "count": self.count,
+            "mean": self.mean,
+            "var": self._var,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.alpha = float(state["alpha"])
+        self.count = int(state["count"])
+        self.mean = float(state["mean"])
+        self._var = float(state["var"])
 
     def __repr__(self) -> str:
         return f"EwmaStats(count={self.count}, mean={self.mean:.4g}, std={self.std:.4g})"
@@ -221,6 +252,25 @@ class OnlineVectorStats:
         clone._m2 = self._m2.copy()
         clone.version = self.version
         return clone
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "counts": self.counts.copy(),
+            "means": self.means.copy(),
+            "m2": self._m2.copy(),
+            "version": self.version,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        if counts.shape != (self.n_dims,):
+            raise ValueError(
+                f"state holds {counts.shape[0]} dims, expected {self.n_dims}"
+            )
+        self.counts = counts.copy()
+        self.means = np.asarray(state["means"], dtype=np.float64).copy()
+        self._m2 = np.asarray(state["m2"], dtype=np.float64).copy()
+        self.version = int(state["version"])
 
 
 class OnlineMinMax:
@@ -324,6 +374,23 @@ class OnlineMinMax:
         ok = (span > 0) & np.isfinite(span)
         out[:, ok] = stds[:, ok] / span[ok]
         return out
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "mins": self.mins.copy(),
+            "maxs": self.maxs.copy(),
+            "version": self.version,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        mins = np.asarray(state["mins"], dtype=np.float64)
+        if mins.shape != (self.n_dims,):
+            raise ValueError(
+                f"state holds {mins.shape[0]} dims, expected {self.n_dims}"
+            )
+        self.mins = mins.copy()
+        self.maxs = np.asarray(state["maxs"], dtype=np.float64).copy()
+        self.version = int(state["version"])
 
 
 class ReservoirSampler(Generic[T]):

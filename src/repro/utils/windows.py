@@ -20,7 +20,7 @@ remains the reference implementation of the paper's window semantics
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Generic, Iterator, List, Optional, Tuple, TypeVar
+from typing import Any, Deque, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
 
 import numpy as np
 
@@ -105,6 +105,18 @@ class ArrayRing:
         start = self._n % self.size
         return self._buf[start : start + self.size]
 
+    def state_dict(self) -> Dict[str, Any]:
+        return {"buf": self._buf.copy(), "n": self._n}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        buf = np.asarray(state["buf"], dtype=self._buf.dtype)
+        if buf.shape != self._buf.shape:
+            raise ValueError(
+                f"ring state has shape {buf.shape}, expected {self._buf.shape}"
+            )
+        self._buf = buf.copy()
+        self._n = int(state["n"])
+
 
 class ObservationWindow:
     """Sliding window of labelled observations with zero-copy array views.
@@ -156,6 +168,18 @@ class ObservationWindow:
         read-only; they are invalidated by the next :meth:`append`.
         """
         return self._x.view(), self._y.view(), self._p.view()
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "x": self._x.state_dict(),
+            "y": self._y.state_dict(),
+            "p": self._p.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._x.load_state_dict(state["x"])
+        self._y.load_state_dict(state["y"])
+        self._p.load_state_dict(state["p"])
 
 
 class SlidingWindow(Generic[T]):

@@ -141,6 +141,38 @@ def run_config(
     return RunTrace(result, system)
 
 
+def run_config_observed(
+    overrides: Optional[Dict[str, object]] = None,
+    *,
+    chunk_size: Optional[int] = None,
+    max_observations: Optional[int] = None,
+    audit_path=None,
+    **build_kwargs,
+):
+    """:func:`run_config` with a live stats collector (and optional
+    audit log) attached; returns ``(RunTrace, StatsCollector)``.
+
+    The counter-parity tests use this to assert that the chunked and
+    per-observation engines emit identical event counts, the same way
+    :func:`assert_equivalent_configs` pins their traces.
+    """
+    from repro.serving.audit import AuditLog
+    from repro.serving.metrics import StatsCollector
+
+    system, stream = build_system(overrides, **build_kwargs)
+    collector = StatsCollector()
+    audit = AuditLog(audit_path) if audit_path is not None else None
+    system.attach_observability(metrics=collector, audit=audit)
+    result = prequential_run(
+        system,
+        stream,
+        oracle_drift=system.config.oracle_drift,
+        chunk_size=chunk_size,
+        max_observations=max_observations,
+    )
+    return RunTrace(result, system), collector
+
+
 def assert_identical_traces(a: RunTrace, b: RunTrace) -> None:
     """Two runs were observation-for-observation the same run.
 

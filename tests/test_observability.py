@@ -1,0 +1,233 @@
+"""Metrics & audit layer: counter parity across engines, event
+contents, histogram mechanics and the null-collector default.
+
+The headline invariant extends the equivalence matrix to telemetry:
+the chunked engine must emit **exactly the same event counts** as the
+per-observation engine — observations, drift events, selections,
+concept transitions, creations and evictions — because both drive the
+same framework decisions.  Phase histograms match in event *count*
+(their timing values naturally differ).  The audit log's JSONL lines
+are pinned for sequencing (monotone ``seq``) and per-event content.
+"""
+
+from __future__ import annotations
+
+import json
+
+from equivalence import run_config_observed
+
+from repro.serving.audit import NULL_AUDIT, AuditLog, read_audit_log
+from repro.serving.metrics import (
+    HISTOGRAM_WINDOW,
+    Histogram,
+    NullStatsCollector,
+    NULL_COLLECTOR,
+    StatsCollector,
+)
+
+#: Counters that must agree exactly between execution engines.
+PARITY_COUNTERS = [
+    "observations",
+    "drift.events",
+    "selection.events",
+    "concept.transitions",
+    "concept.created",
+    "repository.evictions",
+]
+
+
+# ---------------------------------------------------------------------
+# Counter parity: chunked vs per-observation
+# ---------------------------------------------------------------------
+def test_counter_parity_chunked_vs_per_observation():
+    # A tight repository cap forces evictions so that counter is
+    # exercised, not just trivially zero on both sides.
+    overrides = {"max_repository_size": 2}
+    per_obs, c_per = run_config_observed(overrides)
+    chunked, c_chk = run_config_observed(overrides, chunk_size=16)
+    assert per_obs.result.state_ids == chunked.result.state_ids
+    for name in PARITY_COUNTERS:
+        assert c_per.counters.get(name, 0) == c_chk.counters.get(name, 0), name
+    assert c_per.counters["observations"] == per_obs.result.n_observations
+    assert c_per.counters["repository.evictions"] > 0
+    assert c_per.gauges["repository.size"] == c_chk.gauges["repository.size"]
+    # Phase histograms fire the same number of times on both engines.
+    for name, hist in c_per.histograms.items():
+        assert c_chk.histograms[name].count == hist.count, name
+
+
+def test_counters_match_system_ground_truth():
+    trace, collector = run_config_observed({})
+    system = trace.system
+    counters = collector.counters
+    assert counters["observations"] == trace.result.n_observations
+    assert counters["drift.events"] == system.n_drifts_detected
+    assert counters["selection.events"] == system.selection_events
+    # The initial concept predates the collector (built in __init__),
+    # so the counter covers every creation after it: ids 1.._next_id-1,
+    # including created-then-retired states no longer in the repository.
+    assert counters["concept.created"] == system.repository._next_id - 1
+    assert counters["concept.created"] >= len(system.repository) - 1
+    assert collector.gauges["repository.size"] == len(system.repository)
+    # Every selection ran under the latency timer.
+    assert (
+        collector.histograms["selection.latency"].count
+        == system.selection_events
+    )
+
+
+# ---------------------------------------------------------------------
+# Audit log
+# ---------------------------------------------------------------------
+def test_audit_log_event_contents(tmp_path):
+    path = tmp_path / "audit.jsonl"
+    trace, collector = run_config_observed({}, audit_path=path)
+    events = read_audit_log(path)
+    assert events, "an oracle-drift run must log events"
+    assert [e["seq"] for e in events] == list(range(len(events)))
+    assert all(e["step"] >= 0 for e in events)
+    drifts = [e for e in events if e["event"] == "drift"]
+    assert len(drifts) == collector.counters["drift.events"]
+    assert [e["n_drifts"] for e in drifts] == list(range(1, len(drifts) + 1))
+    transitions = [e for e in events if e["event"] == "concept_transition"]
+    assert len(transitions) == collector.counters["concept.transitions"]
+    for event in transitions:
+        assert event["from_state"] != event["to_state"]
+    # Transitions chain: each departs from the state the previous landed on.
+    for prev, cur in zip(transitions, transitions[1:]):
+        assert cur["from_state"] == prev["to_state"]
+
+
+def test_audit_log_eviction_events(tmp_path):
+    path = tmp_path / "audit.jsonl"
+    _, collector = run_config_observed(
+        {"max_repository_size": 2}, audit_path=path
+    )
+    evictions = [
+        e for e in read_audit_log(path) if e["event"] == "eviction"
+    ]
+    assert len(evictions) == collector.counters["repository.evictions"] > 0
+    for event in evictions:
+        assert event["last_active_step"] <= event["step"]
+
+
+def test_audit_log_lines_are_plain_json(tmp_path):
+    path = tmp_path / "audit.jsonl"
+    run_config_observed({}, audit_path=path, max_observations=400)
+    for line in path.read_text().splitlines():
+        record = json.loads(line)
+        assert {"seq", "event", "step"} <= record.keys()
+
+
+def test_audit_seq_continues_across_reopen(tmp_path):
+    path = tmp_path / "audit.jsonl"
+    first = AuditLog(path)
+    first.log("drift", 10, n_drifts=1)
+    first.log("drift", 20, n_drifts=2)
+    reopened = AuditLog(path)
+    assert reopened.seq == 2
+    reopened.log("checkpoint", 30, path="x")
+    events = read_audit_log(path)
+    assert [e["seq"] for e in events] == [0, 1, 2]
+
+
+def test_checkpoint_events_reach_metrics_and_audit(tmp_path):
+    from equivalence import build_system
+    from repro.serving.runner import StreamRunner
+
+    system, stream = build_system({})
+    collector = StatsCollector()
+    audit = AuditLog(tmp_path / "audit.jsonl")
+    system.attach_observability(metrics=collector, audit=audit)
+    runner = StreamRunner(
+        system,
+        stream,
+        oracle_drift=system.config.oracle_drift,
+        checkpoint_path=tmp_path / "ckpt",
+        checkpoint_every=150,
+    )
+    runner.run(max_observations=400)
+    saves = collector.counters["checkpoints"]
+    assert saves == 2  # at 150 and 300
+    assert collector.histograms["checkpoint.save_seconds"].count == saves
+    logged = [
+        e for e in read_audit_log(tmp_path / "audit.jsonl")
+        if e["event"] == "checkpoint"
+    ]
+    assert [e["step"] for e in logged] == [150, 300]
+    assert all(e["path"].endswith("ckpt") for e in logged)
+
+
+# ---------------------------------------------------------------------
+# Collector defaults & mechanics
+# ---------------------------------------------------------------------
+def test_systems_default_to_null_observability():
+    from equivalence import build_system
+
+    system, _ = build_system({})
+    assert system.metrics is NULL_COLLECTOR
+    assert system.audit is NULL_AUDIT
+    assert not system.metrics.enabled
+    assert not system.audit.enabled
+
+
+def test_null_collector_is_inert():
+    null = NullStatsCollector()
+    null.inc("a")
+    null.gauge("b", 1.0)
+    null.observe("c", 2.0)
+    with null.timer("d"):
+        pass
+    assert null.counters == {}
+    assert null.gauges == {}
+    assert null.histograms == {}
+    # The disabled timer is one shared object, not a per-call allocation.
+    assert null.timer("x") is null.timer("y")
+
+
+def test_attachment_does_not_change_the_run():
+    from equivalence import assert_identical_traces, run_config
+
+    plain = run_config({})
+    observed, _ = run_config_observed({})
+    assert_identical_traces(observed, plain)
+
+
+def test_histogram_aggregates_and_percentiles():
+    hist = Histogram()
+    for value in [1.0, 2.0, 3.0, 4.0, 5.0]:
+        hist.observe(value)
+    assert hist.count == 5
+    assert hist.mean == 3.0
+    assert hist.min == 1.0
+    assert hist.max == 5.0
+    assert hist.percentile(0) == 1.0
+    assert hist.percentile(50) == 3.0
+    assert hist.percentile(100) == 5.0
+    summary = hist.summary()
+    assert summary["count"] == 5
+    assert summary["p50"] == 3.0
+
+
+def test_histogram_reservoir_is_bounded():
+    hist = Histogram()
+    for value in range(HISTOGRAM_WINDOW * 3):
+        hist.observe(float(value))
+    assert hist.count == HISTOGRAM_WINDOW * 3
+    assert len(hist._recent) == HISTOGRAM_WINDOW
+    # Percentiles reflect the most recent window, aggregates the whole.
+    assert hist.percentile(0) >= HISTOGRAM_WINDOW * 2
+    assert hist.min == 0.0
+    assert hist.max == HISTOGRAM_WINDOW * 3 - 1
+
+
+def test_collector_summary_is_json_safe():
+    collector = StatsCollector()
+    collector.inc("events", 3)
+    collector.gauge("size", 7)
+    with collector.timer("latency"):
+        pass
+    payload = json.loads(json.dumps(collector.summary()))
+    assert payload["counters"]["events"] == 3
+    assert payload["gauges"]["size"] == 7.0
+    assert payload["histograms"]["latency"]["count"] == 1

@@ -1,0 +1,388 @@
+"""Checkpointing: bit-for-bit resume, manifest integrity, eviction
+payloads, resumable stream iterators and engine crash recovery.
+
+The core guarantee under test: a run interrupted at observation T,
+snapshotted, and restored into a **fresh process-equivalent** system
+finishes with traces identical to the uninterrupted run — across every
+execution toggle of the equivalence matrix (extraction cache,
+vectorized selection, forest routing, incremental updates), both
+engines (per-observation and chunked) and the ADWIN detection path.
+The remaining tests pin the artifact layer itself: manifests reject
+tampering, truncation and unknown schema versions; overwrites are
+atomic; evicted states surface their full serialized payload.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+from equivalence import (
+    RunTrace,
+    assert_identical_traces,
+    build_system,
+    run_config,
+)
+
+from repro.classifiers import HoeffdingTree
+from repro.core.repository import ConceptState, Repository
+from repro.serving.manifest import (
+    MANIFEST_NAME,
+    SCHEMA_VERSION,
+    SnapshotError,
+    read_manifest,
+)
+from repro.serving.runner import StreamRunner
+from repro.serving.snapshot import (
+    load_system,
+    read_state,
+    save_system,
+    write_state,
+)
+from repro.system import AdaptiveSystem
+
+#: The execution-restructuring toggles whose resumed runs must all be
+#: bit-identical to their uninterrupted selves.
+TOGGLES = [
+    {},
+    {"extraction_cache": False},
+    {"vectorized_selection": False},
+    {"forest_routing": False},
+    {"incremental": False},
+]
+
+
+def _interrupted_run(
+    overrides,
+    tmp_path,
+    *,
+    chunk_size=None,
+    interrupt_at=350,
+    **build_kwargs,
+) -> RunTrace:
+    """Run to ``interrupt_at``, snapshot, restore fresh, finish."""
+    system, stream = build_system(overrides, **build_kwargs)
+    runner = StreamRunner(
+        system,
+        stream,
+        oracle_drift=system.config.oracle_drift,
+        chunk_size=chunk_size,
+    )
+    runner.run(max_observations=interrupt_at)
+    path = runner.save_checkpoint(tmp_path / "ckpt")
+    # A fresh stream stands in for the new process after a crash.
+    _, fresh_stream = build_system(overrides, **build_kwargs)
+    restored = StreamRunner.restore(path, fresh_stream)
+    result = restored.run()
+    return RunTrace(result, restored.system)
+
+
+@pytest.mark.parametrize("chunk_size", [None, 16])
+@pytest.mark.parametrize(
+    "overrides", TOGGLES, ids=lambda o: next(iter(o), "base")
+)
+def test_interrupt_restore_identical(overrides, chunk_size, tmp_path):
+    reference = run_config(overrides, chunk_size=chunk_size)
+    resumed = _interrupted_run(overrides, tmp_path, chunk_size=chunk_size)
+    assert_identical_traces(resumed, reference)
+
+
+def test_interrupt_restore_adwin_path(tmp_path):
+    """Resume is exact under real (ADWIN) drift detection too."""
+    overrides = {"oracle_drift": False}
+    reference = run_config(overrides)
+    resumed = _interrupted_run(overrides, tmp_path)
+    assert_identical_traces(resumed, reference)
+
+
+def test_periodic_checkpoints_do_not_perturb_run(tmp_path):
+    """Saving every N observations leaves the run's traces untouched."""
+    reference = run_config({})
+    system, stream = build_system({})
+    runner = StreamRunner(
+        system,
+        stream,
+        oracle_drift=system.config.oracle_drift,
+        checkpoint_path=tmp_path / "periodic",
+        checkpoint_every=150,
+    )
+    result = runner.run()
+    assert_identical_traces(RunTrace(result, system), reference)
+    # The final checkpoint is itself a valid resume point.
+    manifest = read_manifest(tmp_path / "periodic")
+    assert manifest["meta"]["artifact"] == "checkpoint"
+
+
+def test_restore_from_mid_stream_periodic_checkpoint(tmp_path):
+    """Crash *after* a periodic save: resume from the snapshot on disk."""
+    reference = run_config({})
+    system, stream = build_system({})
+    runner = StreamRunner(
+        system,
+        stream,
+        oracle_drift=system.config.oracle_drift,
+        checkpoint_path=tmp_path / "ckpt",
+        checkpoint_every=200,
+    )
+    runner.run(max_observations=450)  # periodic save landed at 400
+    saved_at = read_manifest(tmp_path / "ckpt")["meta"]["n_seen"]
+    assert saved_at == 400
+    # The 50 observations after the save are lost in the "crash"; the
+    # restored run replays them identically from the snapshot.
+    _, fresh_stream = build_system({})
+    restored = StreamRunner.restore(tmp_path / "ckpt", fresh_stream)
+    assert restored.n_seen == saved_at
+    result = restored.run()
+    assert_identical_traces(RunTrace(result, restored.system), reference)
+
+
+def test_snapshot_roundtrip_er_variant(tmp_path):
+    """The univariate error-rate variant snapshots and resumes too."""
+    reference = run_config({}, variant="er")
+    resumed = _interrupted_run({}, tmp_path, variant="er")
+    assert_identical_traces(resumed, reference)
+
+
+def test_from_snapshot_classmethod(tmp_path):
+    system, stream = build_system({})
+    it = stream.iter_resumable()
+    for _ in range(300):
+        x, y, _ = next(it)
+        system.process(x, y)
+    system.save_snapshot(tmp_path / "snap")
+    twin = AdaptiveSystem.from_snapshot(tmp_path / "snap")
+    assert type(twin) is type(system)
+    assert twin._step == system._step
+    assert twin.active_state_id == system.active_state_id
+    for _ in range(200):
+        x, y, _ = next(it)
+        assert twin.process(x.copy(), y) == system.process(x, y)
+        assert twin.active_state_id == system.active_state_id
+    np.testing.assert_array_equal(twin.weights, system.weights)
+
+
+# ---------------------------------------------------------------------
+# Manifest / artifact integrity
+# ---------------------------------------------------------------------
+def _small_snapshot(tmp_path, n=200):
+    system, stream = build_system({})
+    it = iter(stream)
+    for _ in range(n):
+        x, y, _ = next(it)
+        system.process(x, y)
+    path = tmp_path / "snap"
+    save_system(system, path)
+    return path
+
+
+def test_manifest_rejects_payload_tampering(tmp_path):
+    path = _small_snapshot(tmp_path)
+    target = path / "arrays.npz"
+    blob = bytearray(target.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    target.write_bytes(bytes(blob))
+    with pytest.raises(SnapshotError, match="integrity"):
+        load_system(path)
+
+
+def test_manifest_rejects_missing_manifest(tmp_path):
+    path = _small_snapshot(tmp_path)
+    (path / MANIFEST_NAME).unlink()
+    with pytest.raises(SnapshotError, match="manifest"):
+        load_system(path)
+
+
+def test_manifest_rejects_unknown_schema_version(tmp_path):
+    path = _small_snapshot(tmp_path)
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    manifest["schema_version"] = SCHEMA_VERSION + 1
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(SnapshotError, match="version"):
+        load_system(path)
+
+
+def test_manifest_rejects_missing_payload_file(tmp_path):
+    path = _small_snapshot(tmp_path)
+    (path / "objects.pkl").unlink()
+    with pytest.raises(SnapshotError, match="missing"):
+        load_system(path)
+
+
+def test_verify_false_skips_integrity_check(tmp_path):
+    path = _small_snapshot(tmp_path)
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    manifest["files"]["state.json"]["sha256"] = "0" * 64
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(SnapshotError):
+        load_system(path, verify=True)
+    system, _, _ = load_system(path, verify=False)
+    assert system is not None
+
+
+def test_snapshot_overwrite_is_atomic(tmp_path):
+    """Re-saving replaces the artifact wholesale, with no tmp residue."""
+    path = _small_snapshot(tmp_path, n=200)
+    first = read_manifest(path)
+    system, _, _ = load_system(path)
+    save_system(system, path)
+    second = read_manifest(path)
+    assert second["files"].keys() == first["files"].keys()
+    assert not (tmp_path / "snap.tmp").exists()
+    load_system(path)  # still a complete, verifiable artifact
+
+
+def test_write_state_rejects_unserializable_leaf(tmp_path):
+    with pytest.raises(SnapshotError, match="serializ"):
+        write_state(tmp_path / "bad", {"leaf": object()})
+    # A failed write never leaves a half-written artifact behind.
+    assert not (tmp_path / "bad").exists()
+    assert not (tmp_path / "bad.tmp").exists()
+
+
+def test_write_read_state_roundtrip_exact(tmp_path):
+    state = {
+        "f": np.linspace(-1.0, 1.0, 97),
+        "i": np.arange(13, dtype=np.int64),
+        "nested": {"blob": pickle.dumps({"x": 1}), "none": None,
+                   "list": [1, 2.5, "s"], "scalar": np.float64(0.1)},
+    }
+    write_state(tmp_path / "rt", state, meta={"k": "v"})
+    loaded, meta = read_state(tmp_path / "rt")
+    assert meta["k"] == "v"
+    np.testing.assert_array_equal(loaded["f"], state["f"])
+    assert loaded["f"].dtype == np.float64
+    np.testing.assert_array_equal(loaded["i"], state["i"])
+    assert loaded["nested"]["blob"] == state["nested"]["blob"]
+    assert loaded["nested"]["none"] is None
+    assert loaded["nested"]["list"] == [1, 2.5, "s"]
+    assert loaded["nested"]["scalar"] == 0.1
+
+
+# ---------------------------------------------------------------------
+# Eviction hook
+# ---------------------------------------------------------------------
+def test_eviction_hook_receives_full_payload():
+    repo = Repository(max_size=2)
+    evicted = []
+    repo.on_evict = lambda sid, payload: evicted.append((sid, payload))
+    for step in range(3):
+        tree = HoeffdingTree(n_classes=2, n_features=3, seed=step)
+        repo.new_state(4, tree, step=step)
+    assert len(repo) == 2
+    assert len(evicted) == 1
+    victim_id, payload = evicted[0]
+    assert victim_id == 0  # LRU: the oldest last_active_step
+    assert victim_id not in [s.state_id for s in repo.states()]
+    # The payload is the victim's complete serialized form — it can be
+    # rehydrated into an equivalent state (warm/cold tiering).
+    revived = ConceptState.from_state_dict(payload)
+    assert revived.state_id == victim_id
+    assert revived.last_active_step == payload["last_active_step"]
+    assert isinstance(revived.classifier, HoeffdingTree)
+
+
+def test_eviction_hook_absent_by_default():
+    repo = Repository(max_size=1)
+    assert repo.on_evict is None
+    for step in range(2):
+        tree = HoeffdingTree(n_classes=2, n_features=3, seed=step)
+        repo.new_state(4, tree, step=step)
+    assert len(repo) == 1  # evictions proceed silently without a hook
+
+
+# ---------------------------------------------------------------------
+# Resumable stream iterators
+# ---------------------------------------------------------------------
+def test_stream_iterator_state_roundtrip():
+    _, stream = build_system({})
+    it = stream.iter_resumable()
+    for _ in range(100):
+        next(it)
+    state = it.state_dict()
+    expect = [next(it) for _ in range(50)]
+    _, fresh = build_system({})
+    it2 = fresh.iter_resumable()
+    it2.load_state_dict(state)
+    for x, y, cid in expect:
+        x2, y2, cid2 = next(it2)
+        np.testing.assert_array_equal(x2, x)
+        assert (y2, cid2) == (y, cid)
+
+
+def test_stream_iterator_exhaustion_roundtrip():
+    _, stream = build_system({})
+    it = stream.iter_resumable()
+    for _ in range(stream.meta.length):
+        next(it)
+    state = it.state_dict()
+    _, fresh = build_system({})
+    it2 = fresh.iter_resumable()
+    it2.load_state_dict(state)
+    with pytest.raises(StopIteration):
+        next(it2)
+
+
+# ---------------------------------------------------------------------
+# Engine crash recovery
+# ---------------------------------------------------------------------
+def test_engine_resumes_mid_cell(tmp_path):
+    from repro.evaluation.runner import prepare_run
+    from repro.experiments import Engine, ExperimentSpec
+    from repro.experiments.artifacts import result_payload
+
+    spec = ExperimentSpec.from_dict({
+        "systems": ["ficsum"], "datasets": ["STAGGER"], "seeds": [1],
+        "segment_length": 150, "n_repeats": 3,
+    })
+    cell = spec.expand()[0]
+    reference = Engine(results_dir=tmp_path / "clean").run(spec)
+    ref_payload = result_payload(reference.artifacts[0].result)
+
+    # Crash the cell partway, leaving its checkpoint behind.
+    crash_dir = tmp_path / "crash"
+    ckpt = crash_dir / "checkpoints" / cell.key()
+    system, stream = prepare_run(
+        cell.system, cell.dataset, seed=cell.seed,
+        segment_length=cell.segment_length, n_repeats=cell.n_repeats,
+        config=cell.config(), oracle_drift=cell.oracle,
+    )
+    StreamRunner(
+        system, stream, oracle_drift=cell.oracle, keep_history=False,
+        checkpoint_path=ckpt, checkpoint_every=400,
+    ).run(max_observations=500)
+    assert ckpt.exists()
+
+    recovered = Engine(results_dir=crash_dir, checkpoint_every=400).run(spec)
+    assert result_payload(recovered.artifacts[0].result) == ref_payload
+    assert not ckpt.exists()  # cleaned up once the artifact lands
+
+
+def test_engine_falls_back_on_corrupt_checkpoint(tmp_path):
+    from repro.experiments import Engine, ExperimentSpec
+    from repro.experiments.artifacts import result_payload
+
+    spec = ExperimentSpec.from_dict({
+        "systems": ["ficsum"], "datasets": ["STAGGER"], "seeds": [1],
+        "segment_length": 150, "n_repeats": 3,
+    })
+    cell = spec.expand()[0]
+    reference = Engine(results_dir=tmp_path / "clean").run(spec)
+    crash_dir = tmp_path / "corrupt"
+    ckpt = crash_dir / "checkpoints" / cell.key()
+    ckpt.mkdir(parents=True)
+    (ckpt / MANIFEST_NAME).write_text("{not json")
+    recovered = Engine(results_dir=crash_dir, checkpoint_every=400).run(spec)
+    assert result_payload(recovered.artifacts[0].result) == result_payload(
+        reference.artifacts[0].result
+    )
+
+
+def test_engine_checkpoint_requires_results_dir():
+    from repro.experiments import Engine
+
+    with pytest.raises(ValueError, match="results_dir"):
+        Engine(checkpoint_every=100)
+    with pytest.raises(ValueError, match="checkpoint_every"):
+        Engine(results_dir="/tmp/x", checkpoint_every=0)
