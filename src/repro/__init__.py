@@ -60,7 +60,8 @@ __all__ = [
     "FicsumConfig",
     "AdaptiveSystem",
     "__version__",
-] + sorted(_LAZY_EXPORTS)
+    *sorted(_LAZY_EXPORTS),
+]
 
 
 def __getattr__(name):

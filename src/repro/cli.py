@@ -12,6 +12,9 @@ Commands
 ``inspect``  summarise a snapshot's manifest (schema, hashes, meta)
 ``metrics``  run with the stats collector / audit log attached and
              print the observability summary
+``lint``     run the static invariant checker (RPR rules) over the
+             tree; ``--format=github`` emits Actions annotations and
+             ``--write-baseline`` grandfathers current findings
 ``datasets`` list the registered datasets (Table II characteristics)
 ``systems``  list the registered systems
 ``features`` list the registered meta-information components
@@ -29,6 +32,8 @@ Examples
                    --observations 5000 --out snap.ckpt
     repro inspect snap.ckpt
     repro metrics --system ficsum --dataset STAGGER --observations 5000
+    repro lint src tests benchmarks
+    repro lint --list-rules
     repro datasets
     repro features list
     repro run --system ficsum --dataset STAGGER --metafeatures mean std
@@ -184,6 +189,39 @@ def _build_parser() -> argparse.ArgumentParser:
              "to this JSONL file",
     )
     metrics.add_argument("--oracle", action="store_true")
+
+    lint = sub.add_parser(
+        "lint", help="run the static invariant checker (RPR rules)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files/directories to lint (default: src tests benchmarks)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "github"], default="text",
+        help="text lines or GitHub Actions ::error annotations",
+    )
+    lint.add_argument(
+        "--rules", nargs="+", default=None, metavar="RPRnnn",
+        help="run only these rules (default: all registered)",
+    )
+    lint.add_argument(
+        "--baseline", type=Path, default=None,
+        help="grandfathered-findings file "
+             "(default: .repro-lint-baseline.json if present)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings as the new baseline and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and their contracts",
+    )
 
     sub.add_parser("datasets", help="list registered datasets")
     sub.add_parser("systems", help="list registered systems")
@@ -467,6 +505,60 @@ def _cmd_metrics(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.analysis import (
+        DEFAULT_BASELINE,
+        RULES,
+        load_baseline,
+        run_lint,
+        save_baseline,
+    )
+
+    if args.list_rules:
+        for rule_id in RULES.ordered_names():
+            rule = RULES[rule_id]
+            scope = ", ".join(rule.scope) or "-"
+            print(f"{rule_id}  [{scope}]")
+            print(f"    {rule.contract}")
+        return 0
+    paths = args.paths or [Path("src"), Path("tests"), Path("benchmarks")]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(str(p) for p in missing)}")
+    if args.rules is not None:
+        unknown = sorted(set(args.rules) - set(RULES.names()))
+        if unknown:
+            parser.error(f"unknown rules {unknown}; known: {RULES.names()}")
+    baseline_path = args.baseline if args.baseline is not None else DEFAULT_BASELINE
+    baseline = set() if args.no_baseline else load_baseline(baseline_path)
+    report = run_lint(paths, rules=args.rules, baseline=baseline)
+    if args.write_baseline:
+        save_baseline(baseline_path, report.findings + report.baselined)
+        print(
+            f"wrote {len(report.findings) + len(report.baselined)} "
+            f"grandfathered finding(s) to {baseline_path}"
+        )
+        return 0
+    for error in report.errors:
+        print(f"error: {error}", file=sys.stderr)
+    for finding in report.findings:
+        print(
+            finding.render_github() if args.format == "github"
+            else finding.render()
+        )
+    summary = f"{len(report.findings)} finding(s)"
+    if report.baselined:
+        summary += f", {len(report.baselined)} baselined"
+    if report.stale_baseline:
+        summary += (
+            f", {report.stale_baseline} stale baseline entr"
+            f"{'y' if report.stale_baseline == 1 else 'ies'} "
+            "(re-run with --write-baseline to prune)"
+        )
+    print(summary)
+    return 1 if report.findings or report.errors else 0
+
+
 def _cmd_datasets() -> int:
     print(f"{'name':10s} {'length':>7s} {'feats':>6s} {'ctx':>4s} "
           f"{'classes':>8s}  drift")
@@ -528,6 +620,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_inspect(args, parser)
     if args.command == "metrics":
         return _cmd_metrics(args, parser)
+    if args.command == "lint":
+        return _cmd_lint(args, parser)
     if args.command == "datasets":
         return _cmd_datasets()
     if args.command == "features":

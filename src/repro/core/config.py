@@ -131,8 +131,10 @@ class FicsumConfig:
     vectorized_selection: bool = True
     forest_routing: bool = True
     weighting: str = "full"
-    plasticity: bool = True
-    second_selection: bool = True
+    # Semantic ablation toggles, not fast paths: flipping them changes
+    # results by design, so no bit-for-bit equivalence test can exist.
+    plasticity: bool = True  # repro-lint: disable=RPR004
+    second_selection: bool = True  # repro-lint: disable=RPR004
     oracle_drift: bool = False
     max_repository_size: int = 40
     sim_record_samples: int = 4

@@ -21,8 +21,9 @@ accompanying tests and example quantify it.
 
 from __future__ import annotations
 
+import pickle
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Any, Deque, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -116,3 +117,47 @@ class DelayedLabelAdapter(AdaptiveSystem):
             old_x, old_y = self._queue.popleft()
             self.system.process(old_x, old_y)
             self.n_labels_delivered += 1
+
+    # ------------------------------------------------------------------
+    # Checkpointing (state_dict convention of repro.serving)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """All adapter state: the label queue, rng and counters.
+
+        The wrapped system serializes through its own ``state_dict``
+        when it has one (the FiCSUM family), otherwise as one pickle
+        blob — the same fallback :mod:`repro.serving.snapshot` applies
+        to whole systems.
+        """
+        if self._queue:
+            queue_x = np.stack([x for x, _ in self._queue])
+            queue_y = np.asarray([y for _, y in self._queue], dtype=np.int64)
+        else:
+            queue_x = np.empty((0, 0), dtype=np.float64)
+            queue_y = np.empty(0, dtype=np.int64)
+        state: Dict[str, Any] = {
+            "queue_x": queue_x,
+            "queue_y": queue_y,
+            "rng": pickle.dumps(self._rng.bit_generator.state),
+            "n_labels_dropped": self.n_labels_dropped,
+            "n_labels_delivered": self.n_labels_delivered,
+        }
+        if hasattr(self.system, "state_dict"):
+            state["system"] = self.system.state_dict()
+        else:
+            state["system_pickle"] = pickle.dumps(self.system)
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        queue_x = np.asarray(state["queue_x"], dtype=np.float64)
+        queue_y = np.asarray(state["queue_y"], dtype=np.int64)
+        self._queue = deque(
+            (queue_x[i].copy(), int(queue_y[i])) for i in range(len(queue_y))
+        )
+        self._rng.bit_generator.state = pickle.loads(state["rng"])
+        self.n_labels_dropped = int(state["n_labels_dropped"])
+        self.n_labels_delivered = int(state["n_labels_delivered"])
+        if "system" in state:
+            self.system.load_state_dict(state["system"])
+        else:
+            self.system = pickle.loads(state["system_pickle"])

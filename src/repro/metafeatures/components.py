@@ -37,7 +37,9 @@ from repro.metafeatures.shapley import window_permutation_importance
 from repro.registry import register_metafeature
 
 
-class WindowContext:
+# Not checkpoint state: a context lives for one extraction call only,
+# so its memo caches never cross a snapshot boundary.
+class WindowContext:  # repro-lint: disable=RPR002
     """One window's matrix plus memoised shared sub-computations.
 
     Several components share intermediate results (both ACF lags feed

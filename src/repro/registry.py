@@ -57,7 +57,9 @@ class Registry(Mapping[str, T]):
         self._entries[name] = entry
         return entry
 
-    def get(self, name: str, *default: T) -> T:
+    # Deliberately narrower than Mapping.get: no default returns T and
+    # raises, matching how the package treats unknown names as errors.
+    def get(self, name: str, *default: T) -> T:  # type: ignore[override]
         """The entry for ``name``.
 
         Without a ``default``, an unknown name raises a ``KeyError``
@@ -113,7 +115,7 @@ class SystemEntry:
     builder: Callable
     consumes_config: bool = False
 
-    def __call__(self, meta, config, seed):
+    def __call__(self, meta: Any, config: Any, seed: int) -> Any:
         return self.builder(meta, config, seed)
 
 

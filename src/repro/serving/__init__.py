@@ -51,7 +51,8 @@ __all__ = [
     "SnapshotError",
     "SCHEMA_VERSION",
     "read_manifest",
-] + sorted(_LAZY_EXPORTS)
+    *sorted(_LAZY_EXPORTS),
+]
 
 
 def __getattr__(name):

@@ -20,7 +20,7 @@ import hashlib
 import json
 import time
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
 
 #: Current snapshot layout version (see module docstring for policy).
 SCHEMA_VERSION = 1
@@ -42,15 +42,25 @@ def file_digest(path: Union[str, Path]) -> str:
 
 
 def write_manifest(
-    directory: Union[str, Path], meta: Optional[Dict[str, Any]] = None
+    directory: Union[str, Path],
+    meta: Optional[Dict[str, Any]] = None,
+    *,
+    clock: Optional[Callable[[], float]] = None,
 ) -> Path:
     """Hash every payload file in ``directory`` and write the manifest.
 
     Must be called after all payload files are fully written — the
     manifest going down last is what makes its presence a completeness
     marker.
+
+    ``clock`` supplies the ``created_at`` stamp.  It defaults to wall
+    time — the one deliberately non-reproducible field in a snapshot —
+    but callers that need byte-identical snapshot directories (tests,
+    content-addressed stores) inject a fixed clock instead.
     """
     directory = Path(directory)
+    if clock is None:
+        clock = time.time  # repro-lint: disable=RPR001
     files: Dict[str, Dict[str, Any]] = {}
     for path in sorted(directory.iterdir()):
         if path.name == MANIFEST_NAME or not path.is_file():
@@ -61,7 +71,7 @@ def write_manifest(
         }
     manifest = {
         "schema_version": SCHEMA_VERSION,
-        "created_at": time.time(),
+        "created_at": float(clock()),
         "files": files,
         "meta": dict(meta or {}),
     }
@@ -87,7 +97,9 @@ def read_manifest(
         with manifest_path.open("r", encoding="utf-8") as fh:
             manifest = json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
-        raise SnapshotError(f"unreadable manifest at {manifest_path}: {exc}")
+        raise SnapshotError(
+            f"unreadable manifest at {manifest_path}: {exc}"
+        ) from exc
     version = manifest.get("schema_version")
     if version != SCHEMA_VERSION:
         raise SnapshotError(

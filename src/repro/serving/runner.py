@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -56,6 +56,7 @@ class StreamRunner:
         keep_history: bool = True,
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: Optional[int] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -68,6 +69,9 @@ class StreamRunner:
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
         self.checkpoint_every = checkpoint_every
+        #: Stamps checkpoint manifests (default wall time); inject a
+        #: fixed clock for byte-identical snapshot directories.
+        self.clock = clock
         resumable = stream.iter_resumable()
         self._iter = resumable if resumable is not None else iter(stream)
         self._resumable = resumable is not None
@@ -241,6 +245,7 @@ class StreamRunner:
             target,
             extra_state=self._harness_state(),
             meta={"artifact": "checkpoint", "n_seen": self._n_seen},
+            clock=self.clock,
         )
         self._last_checkpoint = self._n_seen
         metrics.inc("checkpoints")
@@ -261,6 +266,7 @@ class StreamRunner:
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: Optional[int] = None,
         verify: bool = True,
+        clock: Optional[Callable[[], float]] = None,
     ) -> "StreamRunner":
         """Rebuild a runner from a checkpoint, positioned to continue.
 
@@ -282,6 +288,7 @@ class StreamRunner:
             keep_history=keep_history,
             checkpoint_path=checkpoint_path if checkpoint_path is not None else path,
             checkpoint_every=checkpoint_every,
+            clock=clock,
         )
         runner._n_seen = int(extra["n_seen"])
         runner._runtime = float(extra["runtime"])

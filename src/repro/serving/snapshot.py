@@ -34,7 +34,7 @@ import os
 import pickle
 import shutil
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -95,12 +95,16 @@ def write_state(
     path: Union[str, Path],
     state: Dict[str, Any],
     meta: Optional[Dict[str, Any]] = None,
+    *,
+    clock: Optional[Callable[[], float]] = None,
 ) -> Path:
     """Write one state tree as a complete snapshot directory.
 
     Atomic: the artifact is assembled in ``<path>.tmp`` and moved over
     the target only once the manifest (the completeness marker) is on
-    disk.  An existing snapshot at ``path`` is replaced.
+    disk.  An existing snapshot at ``path`` is replaced.  ``clock``
+    (default: wall time) stamps the manifest's ``created_at``; inject a
+    fixed one for byte-identical snapshot directories.
     """
     import json
 
@@ -118,7 +122,7 @@ def write_state(
             pickle.dump(blobs, fh, protocol=pickle.HIGHEST_PROTOCOL)
         with (tmp / STATE_NAME).open("w", encoding="utf-8") as fh:
             json.dump(skeleton, fh)
-        write_manifest(tmp, meta)
+        write_manifest(tmp, meta, clock=clock)
         if path.exists():
             shutil.rmtree(path)
         os.replace(tmp, path)
@@ -150,7 +154,9 @@ def read_state(
         with (path / STATE_NAME).open("r", encoding="utf-8") as fh:
             skeleton = json.load(fh)
     except (OSError, ValueError, pickle.UnpicklingError) as exc:
-        raise SnapshotError(f"corrupt snapshot payload at {path}: {exc}")
+        raise SnapshotError(
+            f"corrupt snapshot payload at {path}: {exc}"
+        ) from exc
     state = _unpack(skeleton, arrays, blobs)
     return state, manifest.get("meta", {})
 
@@ -205,6 +211,8 @@ def save_system(
     path: Union[str, Path],
     extra_state: Optional[Dict[str, Any]] = None,
     meta: Optional[Dict[str, Any]] = None,
+    *,
+    clock: Optional[Callable[[], float]] = None,
 ) -> Path:
     """Snapshot a system (plus optional harness state) to ``path``."""
     state: Dict[str, Any] = {"system": system_payload(system)}
@@ -212,7 +220,7 @@ def save_system(
         state["extra"] = extra_state
     full_meta = {"artifact": "adaptive-system"}
     full_meta.update(meta or {})
-    return write_state(path, state, full_meta)
+    return write_state(path, state, full_meta, clock=clock)
 
 
 def load_system(
