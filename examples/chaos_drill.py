@@ -1,0 +1,151 @@
+"""Scenario: a chaos drill before taking the fleet to production.
+
+A grid that runs for hours will eventually meet a crashing worker, a
+corrupt checkpoint or a stalled label feed.  The fault layer
+(``repro.faults``) makes those failures *reproducible inputs*: a
+``FaultPlan`` is a seed plus declarative specs, and every injection
+point is a named no-op until a plan arms it — so the same drill
+produces the same fired faults, the same quarantine set and the same
+surviving artifacts on every run.  This example:
+
+1. runs a 6-cell grid under a plan with one *transient* worker crash
+   (absorbed by the engine's retry) and one *permanent* one (the cell
+   is quarantined while the other five complete),
+2. prints the failure report and the on-disk quarantine record,
+3. heals the grid by re-running without the plan — cached cells are
+   reused, the quarantined cell executes, its record is retired,
+4. drives a FiCSUM stream through a label outage and shows the
+   degraded-mode telemetry: supervised accumulators freeze while
+   concept matching continues on the unsupervised dims alone.
+
+Run:  python examples/chaos_drill.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core import FicsumConfig
+from repro.evaluation.runner import prepare_run
+from repro.experiments import Engine, ExperimentSpec
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.serving import StatsCollector, StreamRunner
+
+RESULTS = Path("results/chaos_drill")
+
+
+# ----------------------------------------------------------------------
+# 1. A 6-cell grid with two injected crashes
+# ----------------------------------------------------------------------
+def run_drill() -> None:
+    spec = ExperimentSpec(
+        systems=["htcd", "dwm"],
+        datasets=["STAGGER"],
+        seeds=[1, 2, 3],
+        segment_length=60,
+        n_repeats=1,
+    )
+    plan = FaultPlan(
+        seed=7,
+        specs=(
+            # Crashes every attempt: retries exhaust, cell quarantined.
+            FaultSpec(kind="worker_crash", match="htcd x STAGGER (seed 2)"),
+            # Crashes attempt 0 only: the retry absorbs it.
+            FaultSpec(
+                kind="worker_crash",
+                match="dwm x STAGGER (seed 3)",
+                attempts=1,
+            ),
+        ),
+    )
+
+    engine = Engine(results_dir=RESULTS, retries=2, fault_plan=plan)
+    grid = engine.run(spec)
+
+    print("=== drill: 6 cells, 1 transient + 1 permanent crash ===")
+    print(f"artifacts : {len(grid.artifacts)}")
+    print(f"failed    : {grid.n_failed}")
+    for failure in grid.failures:
+        print(
+            f"  {failure.cell.label()}  {failure.error_type} "
+            f"after {failure.attempts} attempt(s)"
+        )
+        record = json.loads(Path(failure.quarantine_path).read_text())
+        print(f"  quarantine record: {sorted(record)}")
+
+
+# ----------------------------------------------------------------------
+# 2. Healing: re-run without the plan
+# ----------------------------------------------------------------------
+def heal() -> None:
+    grid = Engine(results_dir=RESULTS).run(
+        ExperimentSpec(
+            systems=["htcd", "dwm"],
+            datasets=["STAGGER"],
+            seeds=[1, 2, 3],
+            segment_length=60,
+            n_repeats=1,
+        )
+    )
+    quarantined = list((RESULTS / "quarantine").glob("*.json"))
+    print("\n=== healing re-run (no plan armed) ===")
+    print(f"cached    : {grid.n_cached}")
+    print(f"executed  : {grid.n_executed}")
+    print(f"failed    : {grid.n_failed}")
+    print(f"quarantine records remaining: {len(quarantined)}")
+
+
+# ----------------------------------------------------------------------
+# 3. Label outage: unsupervised-only degraded mode
+# ----------------------------------------------------------------------
+def label_outage() -> None:
+    # A fast oracle-drift setup with short fingerprint/selection
+    # periods, so degraded-mode concept matching visibly runs inside
+    # the 140-step outage window.
+    config = FicsumConfig(
+        window_size=40,
+        fingerprint_period=4,
+        repository_period=20,
+        grace_period=30,
+        drift_warmup_windows=1.0,
+        oracle_drift=True,
+    )
+    system, stream = prepare_run(
+        "ficsum", "RBF", seed=5, segment_length=150, n_repeats=2,
+        config=config,
+    )
+    # Labels vanish after two concept boundaries, so the repository
+    # already holds fingerprinted states for the masked matcher.
+    plan = FaultPlan(
+        seed=0,
+        specs=(FaultSpec(kind="label_outage", window=(320, 460)),),
+    )
+    metrics = StatsCollector()
+    runner = StreamRunner(
+        system,
+        stream,
+        oracle_drift=True,
+        faults=FaultInjector(plan, metrics=metrics),
+    )
+    system.attach_observability(metrics=metrics)
+    result = runner.run()
+
+    print("\n=== label outage: steps 320-460 without labels ===")
+    print(f"observations scored : {result.n_observations}")
+    print(f"accuracy            : {result.accuracy:.4f}")
+    for counter in (
+        "outage.begun",
+        "outage.ended",
+        "observations.unlabeled",
+        "outage.checks",
+        "outage.selections",
+    ):
+        print(f"{counter:22s}: {metrics.counters.get(counter, 0)}")
+    print(f"back to supervised  : {not system.in_label_outage}")
+
+
+if __name__ == "__main__":
+    run_drill()
+    heal()
+    label_outage()

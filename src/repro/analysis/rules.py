@@ -1,10 +1,12 @@
-"""The built-in invariant rules (RPR001–RPR005).
+"""The built-in invariant rules (RPR001–RPR006).
 
 Each rule statically enforces a contract the dynamic harness can only
 spot-check: determinism of state-bearing modules, ``state_dict`` /
 ``load_state_dict`` symmetry, trusted-kernel hygiene, equivalence-test
-coverage of fast-path toggles, and registry-metadata completeness of
-meta-feature components.  Rules register through
+coverage of fast-path toggles, registry-metadata completeness of
+meta-feature components, and fault-handling hygiene (injection routes
+through :mod:`repro.faults`, broad handlers never swallow silently).
+Rules register through
 :func:`~repro.analysis.core.register_rule` exactly like systems and
 meta-features register through theirs; adding a rule is one class and
 one decorator.
@@ -25,7 +27,17 @@ from repro.analysis.core import (
 
 #: The state-bearing module groups: everything here either holds
 #: mutable run state or writes artifacts that must be reproducible.
-STATE_BEARING = ("core", "metafeatures", "streams", "classifiers", "serving")
+#: ``faults`` belongs here because fault plans are part of the replayed
+#: state: an unseeded RNG or wall-clock read in the injector would make
+#: chaos runs non-deterministic.
+STATE_BEARING = (
+    "core",
+    "metafeatures",
+    "streams",
+    "classifiers",
+    "serving",
+    "faults",
+)
 
 #: Groups holding hot-path numeric code where trusted kernels live.
 KERNEL_GROUPS = ("core", "classifiers", "metafeatures", "utils")
@@ -558,6 +570,118 @@ class RegistryMetadataRule(LintRule):
                 )
 
 
+#: Every group of first-party runtime code (``src/repro/...``); the
+#: fault-hygiene rule covers all of it, not just the state-bearing core.
+_SRC_GROUPS = STATE_BEARING + ("experiments", "utils", "analysis", "root")
+
+#: Process-killing primitives that inject a crash without going through
+#: the faults registry — chaos tests relying on them are invisible to
+#: the fault accounting (StatsCollector counters, audit events).
+_ADHOC_CRASH_HOOKS = {
+    "os._exit",
+    "os.abort",
+    "os.kill",
+    "signal.raise_signal",
+    "faulthandler._sigsegv",
+}
+
+#: Call-name fragments that mark a broad exception handler as
+#: *handling* the error rather than swallowing it: routing it to the
+#: audit log / metrics, warning, or feeding the quarantine machinery.
+_HANDLED_FRAGMENTS = ("log", "audit", "warn", "quarantine", "record", "fail")
+
+
+@register_rule
+class FaultHygieneRule(LintRule):
+    """RPR006: faults route through the registry; no silent handlers.
+
+    Deterministic chaos testing only works if every injected fault is
+    declared in a :class:`~repro.faults.FaultPlan` and fired through a
+    named injection point — an ad-hoc ``os.kill`` in runtime code, or a
+    ``fire()`` call with a made-up site string, escapes both the fault
+    accounting and the replay guarantees.  And a broad ``except
+    Exception`` that neither re-raises nor reports turns an injected
+    (or real) fault into silent corruption.
+    """
+
+    id = "RPR006"
+    contract = (
+        "fault injection must route through repro.faults (no ad-hoc "
+        "crash hooks, fire() only with literal registered sites) and "
+        "broad except handlers must re-raise, audit or quarantine"
+    )
+    scope = _SRC_GROUPS
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        from repro.faults.plan import INJECTION_SITES
+
+        for module in ctx.group(*self.scope):
+            for call in _walk_calls(module.tree):
+                name = module.resolve_call(call.func)
+                if name in _ADHOC_CRASH_HOOKS and module.group != "faults":
+                    yield self.finding(
+                        module,
+                        call,
+                        f"{name} injects a crash outside the faults "
+                        "registry; declare it in a FaultPlan and fire it "
+                        "through a repro.faults injection point",
+                    )
+                elif name.split(".")[-1] == "fire" and call.args:
+                    yield from self._check_fire(module, call, INJECTION_SITES)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ExceptHandler):
+                    yield from self._check_handler(module, node)
+
+    def _check_fire(
+        self, module: SourceModule, call: ast.Call, sites: Tuple[str, ...]
+    ) -> Iterator[Finding]:
+        site = call.args[0]
+        if not (isinstance(site, ast.Constant) and isinstance(site.value, str)):
+            yield self.finding(
+                module,
+                call,
+                "fire() must name its injection point with a string "
+                "literal so the site stays statically auditable",
+            )
+        elif site.value not in sites:
+            yield self.finding(
+                module,
+                call,
+                f"fire() names unregistered injection site {site.value!r}; "
+                f"registered sites: {', '.join(sites)}",
+            )
+
+    def _check_handler(
+        self, module: SourceModule, handler: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if not self._is_broad(handler.type):
+            return
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return
+            if isinstance(node, ast.Call):
+                name = module.resolve_call(node.func).lower()
+                if any(frag in name for frag in _HANDLED_FRAGMENTS):
+                    return
+        label = "bare except" if handler.type is None else "except Exception"
+        yield self.finding(
+            module,
+            handler,
+            f"{label} swallows the error silently; re-raise it, route "
+            "it to the audit log, or quarantine the work item",
+        )
+
+    @staticmethod
+    def _is_broad(node: Optional[ast.AST]) -> bool:
+        if node is None:
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in ("Exception", "BaseException")
+        if isinstance(node, ast.Tuple):
+            return any(FaultHygieneRule._is_broad(e) for e in node.elts)
+        return False
+
+
 def _subclasses_metafeature(cls: ast.ClassDef) -> bool:
     for base in cls.bases:
         if isinstance(base, ast.Name) and base.id == "MetaFeature":
@@ -612,4 +736,5 @@ __all__ = [
     "TrustedKernelRule",
     "ToggleCoverageRule",
     "RegistryMetadataRule",
+    "FaultHygieneRule",
 ]

@@ -6,7 +6,10 @@ Commands
 ``grid``     run a declarative (systems x datasets x seeds) spec
              through the parallel engine, persisting one JSON artifact
              per cell (re-runs skip cells whose artifact exists;
-             ``--checkpoint-every`` adds intra-cell crash recovery)
+             ``--checkpoint-every`` adds intra-cell crash recovery,
+             ``--retries``/``--watchdog``/``--crash-budget`` harden the
+             grid against crashing or hanging cells, and a run that
+             quarantines cells exits non-zero with a failure table)
 ``report``   aggregate saved artifacts into a mean (std) table
 ``snapshot`` run a system partway and write a versioned state snapshot
 ``inspect``  summarise a snapshot's manifest (schema, hashes, meta)
@@ -27,6 +30,9 @@ Examples
     repro grid --systems ficsum htcd --datasets STAGGER RBF \
                --seeds 1 2 --workers 4 --results-dir results
     repro grid --spec grid.toml --workers 8 --results-dir results
+    repro grid --spec grid.toml --workers 8 --retries 2 --watchdog 300 \
+               --checkpoint-every 2000 --checkpoint-keep 3
+    repro grid --spec grid.toml --fault-plan chaos.json  # chaos testing
     repro report --results-dir results
     repro snapshot --system ficsum --dataset STAGGER \
                    --observations 5000 --out snap.ckpt
@@ -52,7 +58,13 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
-from repro.experiments import Engine, ExperimentSpec, aggregate, load_artifacts
+from repro.experiments import (
+    Engine,
+    ExperimentSpec,
+    GridExecutionError,
+    aggregate,
+    load_artifacts,
+)
 from repro.registry import system_consumes_config, system_names
 from repro.streams.datasets import dataset_info, dataset_names
 
@@ -128,6 +140,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--checkpoint-every", type=int, default=None, metavar="N",
         help="snapshot in-flight cells every N observations so a "
              "killed grid resumes mid-cell (default: off)",
+    )
+    grid.add_argument(
+        "--checkpoint-keep", type=int, default=1, metavar="N",
+        help="retain the last N checkpoints per cell; resume walks "
+             "back to the newest verifiable one (default: 1)",
+    )
+    grid.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="re-attempts per crashed cell before it is quarantined "
+             "(default: 1)",
+    )
+    grid.add_argument(
+        "--retry-backoff", type=float, default=0.0, metavar="SECONDS",
+        help="base delay before a retry, doubled per attempt "
+             "(default: 0)",
+    )
+    grid.add_argument(
+        "--crash-budget", type=int, default=None, metavar="N",
+        help="abort the whole grid after N failed attempts "
+             "(default: unlimited)",
+    )
+    grid.add_argument(
+        "--watchdog", type=float, default=None, metavar="SECONDS",
+        help="kill and requeue worker cells that make no progress for "
+             "this long (pool mode only; default: off)",
+    )
+    grid.add_argument(
+        "--fault-plan", type=Path, default=None, metavar="PLAN.json",
+        help="arm the deterministic fault-injection plan in this JSON "
+             "file (chaos testing)",
     )
     grid.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress"
@@ -337,21 +379,61 @@ def _cmd_grid(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         parser.error(
             f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
         )
-    engine = Engine(
-        results_dir=args.results_dir,
-        max_workers=args.workers,
-        progress=progress,
-        checkpoint_every=args.checkpoint_every,
-    )
-    grid = engine.run(spec)
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_file(args.fault_plan)
+        except (OSError, KeyError, TypeError, ValueError) as exc:
+            parser.error(f"--fault-plan {args.fault_plan}: {exc}")
+    try:
+        engine = Engine(
+            results_dir=args.results_dir,
+            max_workers=args.workers,
+            progress=progress,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_keep=args.checkpoint_keep,
+            retries=args.retries,
+            retry_backoff=args.retry_backoff,
+            crash_budget=args.crash_budget,
+            watchdog_timeout=args.watchdog,
+            fault_plan=fault_plan,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    try:
+        grid = engine.run(spec)
+    except GridExecutionError as exc:
+        print(f"grid aborted: {exc}", file=sys.stderr)
+        _print_failures(exc.failures)
+        return 1
     print(f"spec      : {grid.spec_hash} ({spec.n_cells} cells)")
     print(f"executed  : {grid.n_executed}")
     print(f"cached    : {grid.n_cached}")
+    if grid.n_failed:
+        print(f"failed    : {grid.n_failed} (quarantined)")
     print(f"wall time : {grid.wall_time_s:.2f}s "
           f"({args.workers} worker{'s' if args.workers != 1 else ''})")
     print(f"artifacts : {args.results_dir}")
     _print_report(grid.artifacts, ["kappa", "c_f1", "accuracy"])
+    if grid.failures:
+        _print_failures(grid.failures)
+        return 1
     return 0
+
+
+def _print_failures(failures) -> None:
+    print(file=sys.stderr)
+    print(f"{len(failures)} cell(s) failed:", file=sys.stderr)
+    for failure in failures:
+        print(f"  {failure.cell.label():40s} "
+              f"{failure.error_type:20s} "
+              f"after {failure.attempts} attempt(s)", file=sys.stderr)
+        print(f"    {failure.error}", file=sys.stderr)
+        if failure.quarantine_path is not None:
+            print(f"    quarantine: {failure.quarantine_path}",
+                  file=sys.stderr)
 
 
 def _print_report(artifacts, metrics: List[str]) -> None:

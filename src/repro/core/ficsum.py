@@ -160,6 +160,16 @@ class Ficsum(AdaptiveSystem):
         # record resumes learning anyway (the concept has genuinely
         # moved and no drift was ever confirmed).
         self._freeze_limit = 2 * self._streak_trigger
+        # Label-outage degraded mode: while labels are missing the
+        # supervised accumulators freeze and matching falls back to the
+        # unsupervised fingerprint dimensions over a dedicated window
+        # (the main window/pipeline stay untouched, so recovery is
+        # contamination-free).
+        self._label_outage = False
+        self._outage_window = ObservationWindow(cfg.window_size, n_features)
+        self._outage_mask: Optional[np.ndarray] = None  # lazy, derived
+        #: Degraded (unsupervised-only) concept switches performed.
+        self.outage_selections = 0
         # Observability sinks (no-op by default; attach_observability
         # swaps in real collectors).  Telemetry only — not checkpointed.
         self.metrics: StatsCollector = NULL_COLLECTOR
@@ -346,6 +356,160 @@ class Ficsum(AdaptiveSystem):
         """Oracle drift notification (perfect-detection experiment)."""
         if self.config.oracle_drift:
             self._on_drift()
+
+    # ------------------------------------------------------------------
+    # Label-outage degraded mode (unsupervised-only operation)
+    # ------------------------------------------------------------------
+    @property
+    def in_label_outage(self) -> bool:
+        return self._label_outage
+
+    @property
+    def _outage_dims(self) -> np.ndarray:
+        """Mask of label- and classifier-independent fingerprint dims.
+
+        These are the dimensions the paper's headline claim rests on —
+        unsupervised meta-information carries concept identity — and
+        the only ones degraded matching may trust: everything else is
+        garbage under pseudo-labels.
+        """
+        if self._outage_mask is None:
+            schema = self.pipeline.schema
+            self._outage_mask = ~(
+                schema.supervised_dims | schema.classifier_dependent
+            )
+        return self._outage_mask
+
+    def begin_label_outage(self) -> None:
+        """Enter degraded mode: freeze every supervised accumulator.
+
+        The classifier stops learning, the fingerprint pipeline, the
+        normaliser, the concept records and the drift detector all stop
+        updating; only prediction serving and unsupervised matching
+        over a dedicated outage window continue.  Idempotent.
+        """
+        if self._label_outage:
+            return
+        self._label_outage = True
+        self._outage_window = ObservationWindow(
+            self.config.window_size, self.n_features
+        )
+        self.metrics.inc("outage.begun")
+        self.audit.log("label_outage_begin", self._step)
+
+    def end_label_outage(self) -> None:
+        """Leave degraded mode and re-anchor for labeled operation.
+
+        Recovery is treated like a concept switch: the drift detector
+        restarts, the warmup anchor moves to now (the labeled window
+        still spans pre-outage data) and the per-step fingerprint cache
+        clears.  No accumulator was touched during the outage, so the
+        supervised state simply resumes from its pre-outage values.
+        Idempotent.
+        """
+        if not self._label_outage:
+            return
+        self._label_outage = False
+        self._outage_window = ObservationWindow(
+            self.config.window_size, self.n_features
+        )
+        self._switch_step = self._step
+        self._abnormal_streak = 0
+        self._freeze_streak = 0
+        self.detector = self._new_detector()
+        self._fa_cache.clear()
+        self.metrics.inc("outage.ended")
+        self.audit.log("label_outage_end", self._step)
+
+    def process_unlabeled(self, x: np.ndarray) -> int:
+        """One observation whose label never arrived.
+
+        Serves a prediction from the active classifier without
+        training, then — every fingerprint period, once the outage
+        window is full — re-checks which stored concept best explains
+        the window on the unsupervised dimensions alone
+        (:meth:`_outage_selection`).
+        """
+        if not self._label_outage:
+            self.begin_label_outage()
+        x = np.asarray(x, dtype=np.float64)
+        prediction = int(self._active.classifier.predict(x))
+        # Pseudo-labels keep the window arrays well-formed for batch
+        # extraction; every label-derived dimension is masked out of
+        # the degraded match anyway.
+        self._outage_window.append(x, prediction, prediction)
+        self._step += 1
+        self._active.last_active_step = self._step
+        self.metrics.inc("observations.unlabeled")
+        if (
+            self._step % self.config.fingerprint_period == 0
+            and self._outage_window.full
+        ):
+            with self.metrics.timer("phase.outage_selection"):
+                self._outage_selection()
+        return prediction
+
+    def _outage_selection(self) -> None:
+        """Degraded model selection on unsupervised dimensions only.
+
+        A plain masked-similarity argmax over the stored concepts —
+        the gated accept/reject machinery needs the stationary
+        similarity records, whose re-expression under current weights
+        reads supervised statistics that are frozen (and would be
+        stale) during an outage.  Switching only happens when another
+        concept scores strictly above the active one, and is counted
+        separately (``outage_selections``) from gated selection.
+        """
+        mask = self._outage_dims
+        if not mask.any():
+            # ER-style variants carry no unsupervised dimensions;
+            # degraded matching has nothing to go on.
+            return
+        candidates = [
+            state
+            for state in self.repository.states()
+            if state.fingerprint.count >= 2
+        ]
+        if len(candidates) < 2:
+            return
+        xa, ya, la = self._outage_window.arrays()
+        fp = self.pipeline.extract(xa, ya, la, self._active.classifier)
+        # Zero the label-derived dimensions outright: their weight is
+        # masked to zero below, but a NaN there (degenerate pseudo-label
+        # statistics) would still poison the similarity kernel.
+        fp = np.where(mask, fp, 0.0)
+        weights = self._weights * mask
+        scaled_fp = self.normalizer.scale(fp)
+        best: Optional[ConceptState] = None
+        best_sim = -np.inf
+        active_sim: Optional[float] = None
+        for state in candidates:
+            sim = sim_fast(
+                self.normalizer.scale(state.fingerprint.means),
+                scaled_fp,
+                weights,
+            )
+            if state.state_id == self._active.state_id:
+                active_sim = sim
+            if sim > best_sim:
+                best, best_sim = state, sim
+        self.metrics.inc("outage.checks")
+        if (
+            best is None
+            or best.state_id == self._active.state_id
+            or (active_sim is not None and best_sim <= active_sim)
+        ):
+            return
+        self.outage_selections += 1
+        self.metrics.inc("outage.selections")
+        self.audit.log(
+            "outage_selection",
+            self._step,
+            from_state=self._active.state_id,
+            to_state=best.state_id,
+            similarity=float(best_sim),
+        )
+        self._set_active(best)
 
     @property
     def _in_warmup(self) -> bool:
@@ -921,6 +1085,9 @@ class Ficsum(AdaptiveSystem):
             "abnormal_streak": self._abnormal_streak,
             "fa_cache_keys": fa_keys,
             "fa_cache_values": fa_values,
+            "label_outage": self._label_outage,
+            "outage_selections": self.outage_selections,
+            "outage_window": self._outage_window.state_dict(),
             "pipeline": self.pipeline.state_dict(),
             "normalizer": self.normalizer.state_dict(),
             "window": self.window.state_dict(),
@@ -953,6 +1120,16 @@ class Ficsum(AdaptiveSystem):
         self._fa_cache = OrderedDict(
             (int(k), fa_values[i].copy()) for i, k in enumerate(fa_keys)
         )
+        # Outage keys default to the pre-outage-era values so snapshots
+        # written before this mode existed keep loading (no layout
+        # change for them — the schema version stays put).
+        self._label_outage = bool(state.get("label_outage", False))
+        self.outage_selections = int(state.get("outage_selections", 0))
+        self._outage_window = ObservationWindow(
+            self.config.window_size, self.n_features
+        )
+        if "outage_window" in state:
+            self._outage_window.load_state_dict(state["outage_window"])
         self.pipeline.load_state_dict(state["pipeline"])
         self.normalizer.load_state_dict(state["normalizer"])
         self.window.load_state_dict(state["window"])

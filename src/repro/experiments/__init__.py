@@ -31,7 +31,9 @@ from repro.experiments.artifacts import (
     save_artifact,
 )
 from repro.experiments.engine import (
+    CellFailure,
     Engine,
+    GridExecutionError,
     GridResult,
     ProgressEvent,
     run_experiment,
@@ -45,7 +47,9 @@ __all__ = [
     "load_artifact",
     "load_artifacts",
     "save_artifact",
+    "CellFailure",
     "Engine",
+    "GridExecutionError",
     "GridResult",
     "ProgressEvent",
     "run_experiment",

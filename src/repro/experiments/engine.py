@@ -1,4 +1,4 @@
-"""The experiment engine: parallel, resumable grid execution.
+"""The experiment engine: parallel, resumable, fault-tolerant grids.
 
 The :class:`Engine` expands an :class:`~repro.experiments.spec.ExperimentSpec`
 into run cells and executes them with a ``ProcessPoolExecutor``
@@ -13,15 +13,35 @@ Determinism: each cell seeds its own stream and system from the cell's
 ``seed`` alone, so results are independent of worker count and
 completion order — the same spec run serially and with ``max_workers=4``
 produces byte-identical artifacts up to the ``timing`` block.
+
+Failure handling: a failing cell is retried up to ``retries`` times
+(exponential backoff) and then — under the default
+``on_failure="quarantine"`` — recorded as a :class:`CellFailure` with a
+quarantine artifact on disk, while every other cell keeps running; the
+:class:`GridResult` returns the partial artifact list plus the failure
+report.  ``on_failure="raise"`` still completes the whole grid first
+and then raises one :class:`GridExecutionError` naming *all* failed
+cells.  A ``crash_budget`` bounds total failed attempts across the
+grid (a systemic failure should abort, not quarantine everything), and
+``watchdog_timeout`` bounds per-cell wall time in pool mode.
+
+Watchdog caveat: a ``Future`` can only be cancelled before it starts —
+``future.cancel()`` is a no-op for a hung running worker.  The
+watchdog therefore terminates the pool's worker *processes* and
+rebuilds the pool; cells that were merely collateral (running in the
+killed pool but not over deadline) are requeued without being charged
+an attempt.
 """
 
 from __future__ import annotations
 
+import json
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.evaluation.prequential import RunResult
 from repro.experiments.artifacts import (
@@ -37,6 +57,8 @@ from repro.experiments.spec import ExperimentSpec, RunCell
 def _execute_cell(
     cell_payload: Dict[str, Any],
     checkpoint: Optional[Dict[str, Any]] = None,
+    fault_plan: Optional[Dict[str, Any]] = None,
+    attempt: int = 0,
 ) -> Dict[str, Any]:
     """Worker entry point: run one cell, return its artifact payload.
 
@@ -45,16 +67,39 @@ def _execute_cell(
     forked/ spawned interpreter registers the built-in systems and
     datasets before building anything.
 
-    ``checkpoint`` (``{"dir": str, "every": int}``) switches the cell
-    onto the checkpointed runner: periodic snapshots land under
-    ``<dir>/<cell-key>`` and a crashed cell resumes from its newest
-    complete snapshot instead of restarting.
+    ``checkpoint`` (``{"dir": str, "every": int, "keep": int}``)
+    switches the cell onto the checkpointed runner: periodic snapshots
+    land under ``<dir>/<cell-key>`` and a crashed cell resumes from its
+    newest verifiable snapshot instead of restarting.
+
+    ``fault_plan`` (a :meth:`~repro.faults.FaultPlan.to_dict` payload)
+    arms a per-cell :class:`~repro.faults.FaultInjector` — ``engine.cell``
+    faults fire here (crash/hang, matched on the cell label and the
+    ``attempt`` ordinal so retries see deterministic verdicts), and the
+    injector rides into the checkpointed runner for snapshot faults.
     """
     from repro.evaluation.runner import run_on_dataset
 
     cell = RunCell.from_dict(cell_payload)
+    injector = None
+    if fault_plan is not None:
+        from repro.faults import FaultInjector, FaultPlan, InjectedFault
+
+        injector = FaultInjector(
+            FaultPlan.from_dict(fault_plan), scope=cell.key()
+        )
+        for spec in injector.fire(
+            "engine.cell", label=cell.label(), attempt=attempt
+        ):
+            if spec.kind == "hung_cell":
+                time.sleep(spec.duration if spec.duration is not None else 3600.0)
+            elif spec.kind == "worker_crash":
+                raise InjectedFault(
+                    f"injected worker crash in cell {cell.label()} "
+                    f"(attempt {attempt})"
+                )
     if checkpoint is not None:
-        result = _run_cell_checkpointed(cell, checkpoint)
+        result = _run_cell_checkpointed(cell, checkpoint, injector)
     else:
         result = run_on_dataset(
             cell.system,
@@ -75,22 +120,26 @@ def _execute_cell(
 
 
 def _run_cell_checkpointed(
-    cell: RunCell, checkpoint: Dict[str, Any]
+    cell: RunCell, checkpoint: Dict[str, Any], injector: Any = None
 ) -> RunResult:
     """Run one cell with periodic snapshots and crash recovery.
 
-    If a complete snapshot for this cell already exists (a previous
-    engine invocation died mid-cell), the run resumes from it and
-    finishes with traces bit-identical to an uninterrupted run.  An
-    unreadable or incompatible snapshot falls back to a fresh start.
-    The snapshot directory is removed once the cell completes — the
-    cell's JSON artifact then takes over as the durable record.
+    If verifiable snapshots for this cell exist (a previous engine
+    invocation died mid-cell), the run resumes from the newest one —
+    walking back through the retained chain past any corrupt entries —
+    and finishes with traces bit-identical to an uninterrupted run.
+    Every discarded checkpoint is audited (``checkpoint_discarded`` in
+    ``<dir>/audit.jsonl``); only when *no* snapshot verifies does the
+    cell start fresh.  The snapshot directory is removed once the cell
+    completes — the cell's JSON artifact then takes over as the
+    durable record.
     """
     import shutil
 
     from repro.evaluation.runner import prepare_run
+    from repro.serving.audit import AuditLog
     from repro.serving.manifest import SnapshotError
-    from repro.serving.runner import StreamRunner
+    from repro.serving.runner import StreamRunner, checkpoint_chain
 
     def fresh_pair():
         return prepare_run(
@@ -105,19 +154,34 @@ def _run_cell_checkpointed(
 
     path = Path(checkpoint["dir"]) / cell.key()
     every = int(checkpoint["every"])
+    keep = int(checkpoint.get("keep", 1))
+    audit = AuditLog(Path(checkpoint["dir"]) / "audit.jsonl")
     runner: Optional[StreamRunner] = None
-    if path.exists():
+    if path.exists() and checkpoint_chain(path):
         _system, stream = fresh_pair()
         try:
-            runner = StreamRunner.restore(
+            runner = StreamRunner.restore_latest(
                 path,
                 stream,
                 keep_history=False,
                 checkpoint_path=path,
                 checkpoint_every=every,
+                keep_checkpoints=keep,
+                faults=injector,
+                audit=audit,
             )
-        except (SnapshotError, ValueError, KeyError, OSError):
-            runner = None  # corrupt/alien snapshot: start over below
+        except SnapshotError as exc:
+            # Decode failures are wrapped into SnapshotError at the
+            # source (snapshot/runner modules), so this is the one
+            # failure mode a fresh start legitimately covers.
+            audit.log(
+                "checkpoint_discarded",
+                -1,
+                path=str(path),
+                cell=cell.label(),
+                error=str(exc),
+            )
+            runner = None
     if runner is None:
         system, stream = fresh_pair()
         runner = StreamRunner(
@@ -127,8 +191,14 @@ def _run_cell_checkpointed(
             keep_history=False,
             checkpoint_path=path,
             checkpoint_every=every,
+            keep_checkpoints=keep,
+            faults=injector,
         )
     result = runner.run()
+    # An injected stream stall returns early; continue until the
+    # stream is actually done so the cell's artifact covers the full run.
+    while runner.stalled:
+        result = runner.run()
     shutil.rmtree(path, ignore_errors=True)
     return result
 
@@ -137,10 +207,43 @@ def _run_cell_checkpointed(
 class ProgressEvent:
     """Emitted to the engine's progress callback."""
 
-    kind: str  # "cached" | "start" | "done"
+    kind: str  # "cached" | "start" | "retry" | "done" | "failed"
     cell: RunCell
     index: int
     total: int
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One cell that exhausted its retries."""
+
+    cell: RunCell
+    key: str
+    error_type: str
+    error: str
+    attempts: int
+    quarantine_path: Optional[str] = None
+
+    def describe(self) -> str:
+        return (
+            f"{self.cell.label()} [{self.attempts} attempt"
+            f"{'s' if self.attempts != 1 else ''}] "
+            f"{self.error_type}: {self.error}"
+        )
+
+
+class GridExecutionError(RuntimeError):
+    """Raised when a grid cannot complete; names every failed cell."""
+
+    def __init__(self, failures: List[CellFailure], note: str = "") -> None:
+        self.failures = list(failures)
+        lines = "; ".join(f.describe() for f in self.failures)
+        message = (
+            f"{len(self.failures)} experiment cell(s) failed: {lines}"
+        )
+        if note:
+            message = f"{message} ({note})"
+        super().__init__(message)
 
 
 @dataclass(frozen=True)
@@ -153,10 +256,69 @@ class GridResult:
     n_executed: int
     n_cached: int
     wall_time_s: float
+    failures: List[CellFailure] = field(default_factory=list)
 
     @property
     def results(self) -> List[RunResult]:
         return [artifact.result for artifact in self.artifacts]
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
+
+    def raise_on_failure(self) -> None:
+        if self.failures:
+            raise GridExecutionError(self.failures)
+
+
+class _FailureTracker:
+    """Retry/budget bookkeeping for one grid execution."""
+
+    def __init__(self, engine: "Engine", spec_hash: str) -> None:
+        self.engine = engine
+        self.spec_hash = spec_hash
+        self.failures: List[CellFailure] = []
+        self.crashes = 0
+        self.errors: Dict[str, List[str]] = {}
+
+    def record(
+        self, cell: RunCell, attempt: int, exc: BaseException
+    ) -> str:
+        """Charge one failed attempt; ``"retry"`` or ``"failed"``."""
+        self.crashes += 1
+        key = cell.key()
+        self.errors.setdefault(key, []).append(
+            f"{type(exc).__name__}: {exc}"
+        )
+        budget = self.engine.crash_budget
+        if budget is not None and self.crashes > budget:
+            self._final(cell, attempt, exc)
+            raise GridExecutionError(
+                self.failures,
+                note=f"crash budget of {budget} failed attempts exhausted",
+            )
+        if attempt < self.engine.retries:
+            return "retry"
+        self._final(cell, attempt, exc)
+        return "failed"
+
+    def _final(
+        self, cell: RunCell, attempt: int, exc: BaseException
+    ) -> CellFailure:
+        key = cell.key()
+        quarantine = self.engine._write_quarantine(
+            cell, self.spec_hash, attempt + 1, self.errors.get(key, [])
+        )
+        failure = CellFailure(
+            cell=cell,
+            key=key,
+            error_type=type(exc).__name__,
+            error=str(exc),
+            attempts=attempt + 1,
+            quarantine_path=None if quarantine is None else str(quarantine),
+        )
+        self.failures.append(failure)
+        return failure
 
 
 class Engine:
@@ -171,13 +333,43 @@ class Engine:
         Process-pool width; ``1`` executes inline in this process.
     progress:
         Optional callback receiving :class:`ProgressEvent` for every
-        cached / started / finished cell.
+        cached / started / retried / finished / failed cell.
     checkpoint_every:
         Snapshot each in-flight cell every N observations (under
         ``<results_dir>/checkpoints/<cell-key>``) so a killed grid
         resumes mid-cell, not just at cell granularity.  Requires
         ``results_dir``; ``None`` (the default) disables intra-cell
         checkpointing.
+    checkpoint_keep:
+        Per-cell checkpoint chain depth: retain the last N snapshots
+        so a corrupt newest checkpoint falls back to an older
+        verifiable one instead of a fresh start (default 1 — single
+        snapshot, the pre-chain layout).
+    retries:
+        Failed-cell re-executions before the cell is declared failed
+        (default 1: one retry absorbs transient faults).
+    retry_backoff:
+        Base seconds slept before retry ``k`` (scaled by ``2**(k-1)``);
+        0 disables sleeping (the default — determinism tests and CI
+        have no transient environment to wait out).
+    crash_budget:
+        Maximum failed attempts across the whole grid before the run
+        aborts with :class:`GridExecutionError`; ``None`` (default) is
+        unbounded.
+    watchdog_timeout:
+        Pool mode only: seconds a cell may run before its worker is
+        killed and the cell requeued (charged as a failed attempt).
+        ``None`` disables the watchdog.  Inline cells cannot be
+        interrupted — a hung inline cell hangs the engine.
+    on_failure:
+        ``"quarantine"`` (default): failed cells become quarantine
+        records and :class:`GridResult` returns partial results.
+        ``"raise"``: the grid still runs to completion, then raises
+        one :class:`GridExecutionError` naming every failed cell.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` armed for every
+        executed cell (chaos testing); ``None`` (default) keeps all
+        injection sites as no-ops.
     """
 
     def __init__(
@@ -186,6 +378,13 @@ class Engine:
         max_workers: int = 1,
         progress: Optional[Callable[[ProgressEvent], None]] = None,
         checkpoint_every: Optional[int] = None,
+        checkpoint_keep: int = 1,
+        retries: int = 1,
+        retry_backoff: float = 0.0,
+        crash_budget: Optional[int] = None,
+        watchdog_timeout: Optional[float] = None,
+        on_failure: str = "quarantine",
+        fault_plan: Optional[Any] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -193,12 +392,42 @@ class Engine:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
+        if checkpoint_keep < 1:
+            raise ValueError(
+                f"checkpoint_keep must be >= 1, got {checkpoint_keep}"
+            )
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
+        if crash_budget is not None and crash_budget < 1:
+            raise ValueError(
+                f"crash_budget must be >= 1, got {crash_budget}"
+            )
+        if watchdog_timeout is not None and watchdog_timeout <= 0:
+            raise ValueError(
+                f"watchdog_timeout must be > 0, got {watchdog_timeout}"
+            )
+        if on_failure not in ("quarantine", "raise"):
+            raise ValueError(
+                f"on_failure must be 'quarantine' or 'raise', got "
+                f"{on_failure!r}"
+            )
         self.results_dir = Path(results_dir) if results_dir is not None else None
         if checkpoint_every is not None and self.results_dir is None:
             raise ValueError("checkpoint_every requires a results_dir")
         self.max_workers = max_workers
         self.progress = progress
         self.checkpoint_every = checkpoint_every
+        self.checkpoint_keep = checkpoint_keep
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.crash_budget = crash_budget
+        self.watchdog_timeout = watchdog_timeout
+        self.on_failure = on_failure
+        self.fault_plan = fault_plan
 
     def _checkpoint_payload(self) -> Optional[Dict[str, Any]]:
         if self.checkpoint_every is None:
@@ -206,7 +435,13 @@ class Engine:
         return {
             "dir": str(self.results_dir / "checkpoints"),
             "every": self.checkpoint_every,
+            "keep": self.checkpoint_keep,
         }
+
+    def _fault_payload(self) -> Optional[Dict[str, Any]]:
+        if self.fault_plan is None:
+            return None
+        return self.fault_plan.to_dict()
 
     def _emit(self, kind: str, cell: RunCell, index: int, total: int) -> None:
         if self.progress is not None:
@@ -229,6 +464,43 @@ class Engine:
         except (ValueError, KeyError, TypeError):  # bad JSON or wrong shape
             return None
 
+    # ------------------------------------------------------------------
+    # Quarantine artifacts
+    # ------------------------------------------------------------------
+    def _quarantine_path(self, key: str) -> Optional[Path]:
+        if self.results_dir is None:
+            return None
+        return self.results_dir / "quarantine" / f"{key}.json"
+
+    def _write_quarantine(
+        self,
+        cell: RunCell,
+        spec_hash: str,
+        attempts: int,
+        errors: List[str],
+    ) -> Optional[Path]:
+        path = self._quarantine_path(cell.key())
+        if path is None:
+            return None
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "key": cell.key(),
+            "cell": cell.to_dict(),
+            "spec_hash": spec_hash,
+            "attempts": attempts,
+            "errors": errors,
+        }
+        with path.open("w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    def _clear_quarantine(self, key: str) -> None:
+        path = self._quarantine_path(key)
+        if path is not None and path.exists():
+            path.unlink()
+
+    # ------------------------------------------------------------------
     def run(self, spec: ExperimentSpec) -> GridResult:
         """Execute (or resume) every cell of ``spec``."""
         start = time.perf_counter()
@@ -255,21 +527,21 @@ class Engine:
 
         todo = [(indices[0], cells[indices[0]]) for indices in pending.values()]
         checkpoint = self._checkpoint_payload()
+        tracker = _FailureTracker(self, spec_hash)
         if self.max_workers == 1 or len(todo) <= 1:
-            for index, cell in todo:
-                self._emit("start", cell, index, total)
-                payload = _execute_cell(cell.to_dict(), checkpoint)
-                artifacts[index] = self._finish(payload, spec_hash)
-                self._emit("done", cell, index, total)
+            self._run_inline(todo, artifacts, spec_hash, total, checkpoint, tracker)
         else:
-            self._run_pool(todo, artifacts, spec_hash, total, checkpoint)
+            self._run_pool(todo, artifacts, spec_hash, total, checkpoint, tracker)
 
         # Fan shared results out to duplicate cells.
         for key, indices in pending.items():
             for index in indices[1:]:
                 artifacts[index] = artifacts[indices[0]]
 
-        n_executed = len(todo)
+        if tracker.failures and self.on_failure == "raise":
+            raise GridExecutionError(tracker.failures)
+
+        n_executed = len(todo) - len(tracker.failures)
         return GridResult(
             spec=spec,
             spec_hash=spec_hash,
@@ -277,7 +549,43 @@ class Engine:
             n_executed=n_executed,
             n_cached=n_cached,
             wall_time_s=time.perf_counter() - start,
+            failures=tracker.failures,
         )
+
+    def _run_inline(
+        self,
+        todo: List,
+        artifacts: List[Optional[RunArtifact]],
+        spec_hash: str,
+        total: int,
+        checkpoint: Optional[Dict[str, Any]],
+        tracker: _FailureTracker,
+    ) -> None:
+        fault_payload = self._fault_payload()
+        for index, cell in todo:
+            self._emit("start", cell, index, total)
+            attempt = 0
+            while True:
+                try:
+                    payload = _execute_cell(
+                        cell.to_dict(), checkpoint, fault_payload, attempt
+                    )
+                except Exception as exc:
+                    verdict = tracker.record(cell, attempt, exc)
+                    if verdict == "retry":
+                        attempt += 1
+                        self._backoff(attempt)
+                        self._emit("retry", cell, index, total)
+                        continue
+                    self._emit("failed", cell, index, total)
+                    break
+                artifacts[index] = self._finish(payload, spec_hash)
+                self._emit("done", cell, index, total)
+                break
+
+    def _backoff(self, attempt: int) -> None:
+        if self.retry_backoff > 0:
+            time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
 
     def _run_pool(
         self,
@@ -285,33 +593,180 @@ class Engine:
         artifacts: List[Optional[RunArtifact]],
         spec_hash: str,
         total: int,
-        checkpoint: Optional[Dict[str, Any]] = None,
+        checkpoint: Optional[Dict[str, Any]],
+        tracker: _FailureTracker,
     ) -> None:
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = {}
-            for index, cell in todo:
-                self._emit("start", cell, index, total)
-                futures[pool.submit(_execute_cell, cell.to_dict(), checkpoint)] = (index, cell)
-            outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+        fault_payload = self._fault_payload()
+        # Queue entries: (index, cell, attempt, not_before) — not_before
+        # implements retry backoff without blocking result collection.
+        queue: deque = deque(
+            (index, cell, 0, 0.0) for index, cell in todo
+        )
+        running: Dict[Any, Tuple[int, RunCell, int, Optional[float]]] = {}
+        pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        try:
+            while queue or running:
+                self._submit_ready(pool, queue, running, checkpoint, fault_payload, total)
+                if not running:
+                    # Everything queued is backing off; sleep it out.
+                    now = time.monotonic()
+                    wake = min(entry[3] for entry in queue)
+                    if wake > now:
+                        time.sleep(wake - now)
+                    continue
+                timeout = self._watchdog_wait(running)
+                done, _ = wait(
+                    set(running), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    pool = self._handle_watchdog(
+                        pool, queue, running, tracker, total
+                    )
+                    continue
                 for future in done:
-                    index, cell = futures[future]
+                    index, cell, attempt, _deadline = running.pop(future)
                     try:
                         payload = future.result()
                     except Exception as exc:
-                        for other in outstanding:
-                            other.cancel()
-                        raise RuntimeError(
-                            f"experiment cell {cell.label()} failed"
-                        ) from exc
+                        self._after_pool_failure(
+                            queue, tracker, index, cell, attempt, exc, total
+                        )
+                        continue
                     artifacts[index] = self._finish(payload, spec_hash)
                     self._emit("done", cell, index, total)
+        except GridExecutionError:
+            self._kill_pool(pool)
+            raise
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _submit_ready(
+        self,
+        pool: ProcessPoolExecutor,
+        queue: deque,
+        running: Dict[Any, Tuple[int, RunCell, int, Optional[float]]],
+        checkpoint: Optional[Dict[str, Any]],
+        fault_payload: Optional[Dict[str, Any]],
+        total: int,
+    ) -> None:
+        now = time.monotonic()
+        deferred = []
+        while queue and len(running) < self.max_workers:
+            index, cell, attempt, not_before = queue.popleft()
+            if not_before > now:
+                deferred.append((index, cell, attempt, not_before))
+                continue
+            if attempt == 0:
+                self._emit("start", cell, index, total)
+            else:
+                self._emit("retry", cell, index, total)
+            future = pool.submit(
+                _execute_cell, cell.to_dict(), checkpoint, fault_payload, attempt
+            )
+            deadline = (
+                now + self.watchdog_timeout
+                if self.watchdog_timeout is not None
+                else None
+            )
+            running[future] = (index, cell, attempt, deadline)
+        queue.extend(deferred)
+
+    def _watchdog_wait(
+        self, running: Dict[Any, Tuple[int, RunCell, int, Optional[float]]]
+    ) -> Optional[float]:
+        if self.watchdog_timeout is None:
+            return None
+        now = time.monotonic()
+        nearest = min(
+            deadline
+            for (_, _, _, deadline) in running.values()
+            if deadline is not None
+        )
+        return max(0.0, nearest - now)
+
+    def _handle_watchdog(
+        self,
+        pool: ProcessPoolExecutor,
+        queue: deque,
+        running: Dict[Any, Tuple[int, RunCell, int, Optional[float]]],
+        tracker: _FailureTracker,
+        total: int,
+    ) -> ProcessPoolExecutor:
+        """Kill the pool, fail/ requeue hung cells, requeue collateral.
+
+        ``future.cancel()`` cannot stop a running worker, so exceeding
+        the watchdog means terminating worker processes and rebuilding
+        the pool.  Cells past their deadline are charged a failed
+        attempt; cells that merely shared the killed pool are requeued
+        at their current attempt.
+        """
+        now = time.monotonic()
+        hung = [
+            future
+            for future, (_, _, _, deadline) in running.items()
+            if deadline is not None and deadline <= now
+        ]
+        if not hung:
+            return pool
+        self._kill_pool(pool)
+        for future in hung:
+            index, cell, attempt, _ = running.pop(future)
+            exc = TimeoutError(
+                f"watchdog: cell exceeded {self.watchdog_timeout}s"
+            )
+            self._after_pool_failure(
+                queue, tracker, index, cell, attempt, exc, total
+            )
+        for future in list(running):
+            index, cell, attempt, _ = running.pop(future)
+            queue.appendleft((index, cell, attempt, 0.0))
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+    def _after_pool_failure(
+        self,
+        queue: deque,
+        tracker: _FailureTracker,
+        index: int,
+        cell: RunCell,
+        attempt: int,
+        exc: BaseException,
+        total: int,
+    ) -> None:
+        verdict = tracker.record(cell, attempt, exc)
+        if verdict == "retry":
+            not_before = time.monotonic() + (
+                self.retry_backoff * (2 ** attempt)
+                if self.retry_backoff > 0
+                else 0.0
+            )
+            queue.append((index, cell, attempt + 1, not_before))
+        else:
+            self._emit("failed", cell, index, total)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Terminate worker processes, then shut the executor down.
+
+        Reaches into executor internals (there is no public kill API);
+        any shape mismatch degrades to a plain shutdown, which at
+        worst waits on the hung worker.
+        """
+        try:
+            processes = list(getattr(pool, "_processes", {}).values())
+        except (AttributeError, TypeError):
+            processes = []
+        for process in processes:
+            try:
+                process.terminate()
+            except (OSError, ValueError, AttributeError):
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def _finish(self, payload: Dict[str, Any], spec_hash: str) -> RunArtifact:
         payload = dict(payload)
         payload["spec_hash"] = spec_hash
         artifact = artifact_from_payload(payload)
+        self._clear_quarantine(artifact.key)
         if self.results_dir is not None:
             path = save_artifact(self.results_dir, artifact)
             artifact = RunArtifact(
@@ -331,6 +786,7 @@ def run_experiment(
     max_workers: int = 1,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
     checkpoint_every: Optional[int] = None,
+    **engine_options: Any,
 ) -> GridResult:
     """One-call convenience wrapper around :class:`Engine`."""
     return Engine(
@@ -338,4 +794,5 @@ def run_experiment(
         max_workers=max_workers,
         progress=progress,
         checkpoint_every=checkpoint_every,
+        **engine_options,
     ).run(spec)

@@ -1,0 +1,38 @@
+"""Seed-driven deterministic fault injection.
+
+The chaos layer for the hardened runtime: a :class:`FaultPlan` declares
+*what* can go wrong (worker crashes, hung cells, corrupted snapshots,
+stream stalls, malformed observations, label outages) and a seeded
+:class:`FaultInjector` decides *when*, so the same plan replays the
+same faults at the same points on every run.  Injection points are the
+named :data:`INJECTION_SITES` threaded through the experiment engine,
+the stream runner and the snapshot chain; with no plan armed every
+site is a single ``is None`` check.
+
+:class:`ObservationGuard` is the matching data-plane defence: the
+validation/quarantine policy applied to observations before they reach
+``process_chunk``.
+"""
+
+from repro.faults.guards import DataValidationError, ObservationGuard
+from repro.faults.plan import (
+    FAULT_KINDS,
+    INJECTION_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    corrupt_snapshot,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "INJECTION_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "corrupt_snapshot",
+    "DataValidationError",
+    "ObservationGuard",
+]

@@ -1,0 +1,153 @@
+"""Observation validation at the data-plane boundary.
+
+:class:`ObservationGuard` sits between the stream and the system: every
+observation is checked for shape and finiteness before it reaches
+``process`` / ``process_chunk``, under one of three policies:
+
+* ``raise``  — fail fast with :class:`DataValidationError` (default:
+  malformed data in a reproduction run is a bug, not noise),
+* ``skip``   — quarantine the observation (counted + audited, never
+  shown to the system or the evaluator),
+* ``impute`` — replace non-finite entries with the corresponding
+  feature of the last valid observation (zeros before any is seen);
+  wrong-dimension observations cannot be imputed and are skipped.
+
+The guard carries run state (the imputation source and its counters
+feed resumed runs), so it implements the ``state_dict`` convention and
+rides inside the :class:`~repro.serving.runner.StreamRunner` harness
+state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.audit import AuditLog, NULL_AUDIT
+from repro.serving.metrics import NULL_COLLECTOR, StatsCollector
+
+POLICIES = ("raise", "skip", "impute")
+
+
+class DataValidationError(ValueError):
+    """An observation failed validation under the ``raise`` policy."""
+
+
+class ObservationGuard:
+    """Validation/quarantine policy for incoming observations."""
+
+    def __init__(
+        self,
+        policy: str = "raise",
+        *,
+        metrics: StatsCollector = NULL_COLLECTOR,
+        audit: AuditLog = NULL_AUDIT,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown guard policy {policy!r}; expected one of {POLICIES}"
+            )
+        self.policy = policy
+        self.metrics = metrics
+        self.audit = audit
+        self.n_checked = 0
+        self.n_quarantined = 0
+        self.n_imputed = 0
+        self._last_good: Optional[np.ndarray] = None
+
+    def attach_observability(
+        self,
+        metrics: Optional[StatsCollector] = None,
+        audit: Optional[AuditLog] = None,
+    ) -> None:
+        if metrics is not None:
+            self.metrics = metrics
+        if audit is not None:
+            self.audit = audit
+
+    # ------------------------------------------------------------------
+    def inspect(
+        self, x: np.ndarray, n_features: int, step: int
+    ) -> Tuple[str, np.ndarray]:
+        """``("ok", x)`` to process (possibly imputed), ``("skip", x)``
+        to quarantine; raises under the ``raise`` policy."""
+        self.n_checked += 1
+        if x.ndim != 1 or x.shape[0] != n_features:
+            return self._reject(
+                step,
+                f"observation shape {x.shape} does not match "
+                f"({n_features},)",
+                reason="shape",
+            )
+        bad = ~np.isfinite(x)
+        if bad.any():
+            if self.policy == "impute":
+                x = x.copy()
+                if self._last_good is not None:
+                    x[bad] = self._last_good[bad]
+                else:
+                    x[bad] = 0.0
+                self.n_imputed += 1
+                self.metrics.inc("guard.imputed")
+                self.audit.log(
+                    "observation_imputed", step, n_bad=int(bad.sum())
+                )
+            else:
+                return self._reject(
+                    step,
+                    f"observation holds {int(bad.sum())} non-finite "
+                    "value(s)",
+                    reason="nonfinite",
+                )
+        self._last_good = x.copy()
+        return "ok", x
+
+    def _reject(
+        self, step: int, message: str, reason: str
+    ) -> Tuple[str, np.ndarray]:
+        if self.policy == "raise":
+            raise DataValidationError(f"step {step}: {message}")
+        self.n_quarantined += 1
+        self.metrics.inc("guard.quarantined")
+        self.metrics.inc(f"guard.quarantined.{reason}")
+        self.audit.log("observation_quarantined", step, reason=reason)
+        return "skip", np.empty(0)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (state_dict convention of repro.serving)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        state: Dict[str, Any] = {
+            "n_checked": self.n_checked,
+            "n_quarantined": self.n_quarantined,
+            "n_imputed": self.n_imputed,
+            "has_last_good": self._last_good is not None,
+            "last_good": (
+                self._last_good.copy()
+                if self._last_good is not None
+                else np.empty(0)
+            ),
+        }
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.n_checked = int(state["n_checked"])
+        self.n_quarantined = int(state["n_quarantined"])
+        self.n_imputed = int(state["n_imputed"])
+        if bool(state["has_last_good"]):
+            self._last_good = np.asarray(
+                state["last_good"], dtype=np.float64
+            ).copy()
+        else:
+            self._last_good = None
+
+    def __repr__(self) -> str:
+        return (
+            f"ObservationGuard(policy={self.policy!r}, "
+            f"checked={self.n_checked}, quarantined={self.n_quarantined}, "
+            f"imputed={self.n_imputed})"
+        )
+
+
+__all__ = ["POLICIES", "DataValidationError", "ObservationGuard"]

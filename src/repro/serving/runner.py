@@ -21,13 +21,30 @@ Two loop details make that exact:
   pins against the per-observation path.
 
 Checkpoints are snapshot directories (:mod:`repro.serving.snapshot`)
-holding the system payload plus the harness state; periodic saving is
-driven by ``checkpoint_every`` and crash recovery is one
-:meth:`StreamRunner.restore` from the newest complete artifact.
+holding the system payload plus the harness state.  With
+``keep_checkpoints=1`` (the default) one snapshot is overwritten in
+place; with N > 1 the runner retains a *chain* of the last N under
+``<checkpoint_path>/ckpt-<n_seen>``, and
+:meth:`StreamRunner.restore_latest` walks the chain newest-first past
+any corrupt entry to the newest verifiable snapshot — resume from an
+older chain entry is just resume from an earlier T, so it stays
+bit-for-bit.
+
+Fault tolerance hooks (all no-ops unless configured):
+
+* ``faults`` — a :class:`~repro.faults.FaultInjector` arming the
+  ``stream.*`` and ``snapshot.*`` injection sites (chaos testing),
+* ``guard`` — an :class:`~repro.faults.ObservationGuard` validating
+  every observation before the system sees it,
+* label outages (the ``stream.labels`` site) switch a degraded-mode
+  capable system (``process_unlabeled`` + ``begin/end_label_outage``)
+  onto unsupervised-only operation; systems without that surface have
+  the affected observations dropped and counted.
 """
 
 from __future__ import annotations
 
+import shutil
 import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
@@ -36,15 +53,49 @@ import numpy as np
 
 from repro.evaluation.metrics import ConfusionMatrix
 from repro.evaluation.prequential import RunResult, _build_result
-from repro.serving.audit import NULL_AUDIT
+from repro.faults.guards import ObservationGuard
+from repro.faults.plan import FaultInjector, corrupt_snapshot
+from repro.serving.audit import AuditLog, NULL_AUDIT
+from repro.serving.manifest import MANIFEST_NAME, SnapshotError
 from repro.serving.metrics import NULL_COLLECTOR
 from repro.serving.snapshot import load_system, save_system
 from repro.streams.base import ResumableIterator, Stream
 from repro.system import AdaptiveSystem
 
+#: Prefix of chained checkpoint directories under the checkpoint root.
+CHAIN_PREFIX = "ckpt-"
+
+
+def checkpoint_chain(root: Union[str, Path]) -> List[Path]:
+    """Snapshot candidates under ``root``, newest first.
+
+    A chained layout (``<root>/ckpt-<n_seen>`` directories) sorts by
+    descending position; the legacy single-snapshot layout (``root``
+    itself is the snapshot directory) yields ``[root]``.  Directories
+    without a manifest are still listed — the restore walk rejects
+    them with :class:`SnapshotError` and moves on.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    chained = sorted(
+        (
+            entry
+            for entry in root.iterdir()
+            if entry.is_dir() and entry.name.startswith(CHAIN_PREFIX)
+        ),
+        key=lambda entry: entry.name,
+        reverse=True,
+    )
+    if chained:
+        return chained
+    if (root / MANIFEST_NAME).exists():
+        return [root]
+    return []
+
 
 class StreamRunner:
-    """A pausable, checkpointable prequential run."""
+    """A pausable, checkpointable, fault-tolerant prequential run."""
 
     def __init__(
         self,
@@ -56,10 +107,17 @@ class StreamRunner:
         keep_history: bool = True,
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: Optional[int] = None,
+        keep_checkpoints: int = 1,
         clock: Optional[Callable[[], float]] = None,
+        faults: Optional[FaultInjector] = None,
+        guard: Optional[ObservationGuard] = None,
     ) -> None:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if keep_checkpoints < 1:
+            raise ValueError(
+                f"keep_checkpoints must be >= 1, got {keep_checkpoints}"
+            )
         self.system = system
         self.stream = stream
         self.oracle_drift = oracle_drift
@@ -69,9 +127,20 @@ class StreamRunner:
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
         self.checkpoint_every = checkpoint_every
+        self.keep_checkpoints = keep_checkpoints
         #: Stamps checkpoint manifests (default wall time); inject a
         #: fixed clock for byte-identical snapshot directories.
         self.clock = clock
+        self.faults = faults
+        self.guard = guard
+        # Route fault/guard telemetry through the system's sinks unless
+        # the caller wired dedicated ones.
+        system_metrics = getattr(system, "metrics", NULL_COLLECTOR)
+        system_audit = getattr(system, "audit", NULL_AUDIT)
+        if faults is not None and faults.metrics is NULL_COLLECTOR:
+            faults.attach_observability(system_metrics, system_audit)
+        if guard is not None and guard.metrics is NULL_COLLECTOR:
+            guard.attach_observability(system_metrics, system_audit)
         resumable = stream.iter_resumable()
         self._iter = resumable if resumable is not None else iter(stream)
         self._resumable = resumable is not None
@@ -86,6 +155,16 @@ class StreamRunner:
         self._runtime = 0.0
         self._exhausted = False
         self._last_checkpoint = 0
+        #: True when the last ``run`` returned early on an injected
+        #: stream stall; calling ``run`` again continues the stream.
+        self.stalled = False
+        #: Observations withheld from the system entirely (guard
+        #: quarantine + label outages on degradation-incapable systems).
+        self.n_dropped = 0
+        self._in_outage = False
+        self._outage_capable = hasattr(system, "process_unlabeled") and hasattr(
+            system, "begin_label_outage"
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -101,8 +180,11 @@ class StreamRunner:
 
         The limit counts *all* observations this runner has processed
         (across every ``run`` call), so ``run(T)`` then ``run()`` is the
-        interrupted-then-resumed version of one full run.
+        interrupted-then-resumed version of one full run.  An injected
+        stream stall also returns early (``self.stalled``); the next
+        ``run()`` call continues past it.
         """
+        self.stalled = False
         start = time.perf_counter()
         try:
             if self.chunk_size is None:
@@ -113,14 +195,96 @@ class StreamRunner:
             self._runtime += time.perf_counter() - start
         return self.result()
 
+    def _stall_fired(self) -> bool:
+        if self.faults is None:
+            return False
+        if not self.faults.fire("stream.stall", step=self._n_seen):
+            return False
+        self.stalled = True
+        return True
+
+    def _pull(self):
+        """Next observation, with stream-site faults/validation applied.
+
+        Returns ``None`` to skip (quarantined observation), the
+        observation tuple otherwise; raises ``StopIteration`` at end
+        of stream like the bare iterator.
+        """
+        x, y, concept_id = next(self._iter)
+        if self.faults is not None:
+            x = self.faults.mutate_observation(x, self._n_seen)
+        if self.guard is not None:
+            verdict, x = self.guard.inspect(
+                x, self.stream.meta.n_features, self._n_seen
+            )
+            if verdict == "skip":
+                self.n_dropped += 1
+                return None
+        return x, y, concept_id
+
+    # ------------------------------------------------------------------
+    # Label outages
+    # ------------------------------------------------------------------
+    def _label_missing(self) -> bool:
+        return self.faults is not None and self.faults.label_missing(
+            self._n_seen
+        )
+
+    def _enter_outage(self) -> None:
+        if self._in_outage:
+            return
+        self._in_outage = True
+        if self._outage_capable:
+            self.system.begin_label_outage()
+
+    def _exit_outage(self) -> None:
+        if not self._in_outage:
+            return
+        self._in_outage = False
+        if self._outage_capable:
+            self.system.end_label_outage()
+
+    def _process_unlabeled(self, x: np.ndarray, y: int, concept_id: int) -> None:
+        """One observation inside a label-outage window.
+
+        Degradation-capable systems keep predicting and matching on
+        unsupervised meta-information (``process_unlabeled``); the
+        harness still scores the prediction against the withheld label
+        — the outage models label *delivery* failing, not ground truth
+        ceasing to exist.  Other systems drop the observation.  Oracle
+        drift signals are suppressed during the outage (the system's
+        supervised selection machinery is frozen); a concept change is
+        signalled on the first labeled observation after recovery.
+        """
+        self._enter_outage()
+        if not self._outage_capable:
+            self.n_dropped += 1
+            return
+        prediction = self.system.process_unlabeled(x)
+        self._confusion.update(y, prediction)
+        self._concept_ids.append(concept_id)
+        self._state_ids.append(self.system.active_state_id)
+        self._n_seen += 1
+
+    # ------------------------------------------------------------------
     def _run_per_observation(self, limit: Optional[int]) -> None:
         system = self.system
         while limit is None or self._n_seen < limit:
+            if self._stall_fired():
+                break
             try:
-                x, y, concept_id = next(self._iter)
+                pulled = self._pull()
             except StopIteration:
                 self._exhausted = True
                 break
+            if pulled is None:
+                continue
+            x, y, concept_id = pulled
+            if self._label_missing():
+                self._process_unlabeled(x, y, concept_id)
+                self._maybe_checkpoint()
+                continue
+            self._exit_outage()
             if (
                 self.oracle_drift
                 and self._previous_concept is not None
@@ -163,11 +327,24 @@ class StreamRunner:
             if self._checkpoint_due(len(buf_x)):
                 flush()
                 self.save_checkpoint()
+            if self._stall_fired():
+                break
             try:
-                x, y, concept_id = next(self._iter)
+                pulled = self._pull()
             except StopIteration:
                 self._exhausted = True
                 break
+            if pulled is None:
+                continue
+            x, y, concept_id = pulled
+            if self._label_missing():
+                # Unlabeled observations bypass the batch: flush what
+                # is buffered, then run the degraded per-observation
+                # path until labels return.
+                flush()
+                self._process_unlabeled(x, y, concept_id)
+                continue
+            self._exit_outage()
             if self._buf_concept is None:
                 self._buf_concept = concept_id
             elif concept_id != self._buf_concept:
@@ -180,7 +357,8 @@ class StreamRunner:
             buf_x.append(x)
             buf_y.append(y)
         flush()
-        self._maybe_checkpoint()
+        if not self.stalled:
+            self._maybe_checkpoint()
 
     def result(self) -> RunResult:
         return _build_result(
@@ -220,22 +398,46 @@ class StreamRunner:
             "exhausted": self._exhausted,
             "oracle_drift": self.oracle_drift,
             "chunk_size": self.chunk_size,
+            "n_dropped": self.n_dropped,
+            "in_outage": self._in_outage,
         }
         if self._resumable:
             state["stream_iter"] = self._iter.state_dict()
+        if self.guard is not None:
+            state["guard"] = self.guard.state_dict()
         return state
+
+    def _chain_target(self) -> Path:
+        assert self.checkpoint_path is not None
+        if self.keep_checkpoints == 1:
+            return self.checkpoint_path
+        return self.checkpoint_path / f"{CHAIN_PREFIX}{self._n_seen:012d}"
+
+    def _prune_chain(self) -> None:
+        if self.keep_checkpoints == 1 or self.checkpoint_path is None:
+            return
+        for stale in checkpoint_chain(self.checkpoint_path)[
+            self.keep_checkpoints :
+        ]:
+            shutil.rmtree(stale, ignore_errors=True)
 
     def save_checkpoint(
         self, path: Optional[Union[str, Path]] = None
     ) -> Path:
-        """Snapshot the system plus all harness state to ``path``.
+        """Snapshot the system plus all harness state.
 
-        Chunked runners must only save at sub-chunk boundaries (the
-        internal loop guarantees this); a snapshot never holds buffered
-        observations.
+        With no explicit ``path``: ``keep_checkpoints=1`` overwrites
+        the single snapshot at ``checkpoint_path``; larger values
+        append to the retained chain under it and prune the oldest
+        entries.  Chunked runners must only save at sub-chunk
+        boundaries (the internal loop guarantees this); a snapshot
+        never holds buffered observations.
         """
-        target = Path(path) if path is not None else self.checkpoint_path
-        if target is None:
+        if path is not None:
+            target = Path(path)
+        elif self.checkpoint_path is not None:
+            target = self._chain_target()
+        else:
             raise ValueError("no checkpoint path configured")
         metrics = getattr(self.system, "metrics", NULL_COLLECTOR)
         audit = getattr(self.system, "audit", NULL_AUDIT)
@@ -254,6 +456,13 @@ class StreamRunner:
                 "checkpoint.save_seconds", time.perf_counter() - start
             )
         audit.log("checkpoint", self._n_seen, path=str(target))
+        if self.faults is not None:
+            for spec in self.faults.fire(
+                "snapshot.save", step=self._n_seen, label=str(target)
+            ):
+                corrupt_snapshot(target, spec.mode or "truncate")
+        if path is None:
+            self._prune_chain()
         return result
 
     @classmethod
@@ -265,52 +474,149 @@ class StreamRunner:
         keep_history: bool = True,
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: Optional[int] = None,
+        keep_checkpoints: int = 1,
         verify: bool = True,
         clock: Optional[Callable[[], float]] = None,
+        faults: Optional[FaultInjector] = None,
+        guard: Optional[ObservationGuard] = None,
     ) -> "StreamRunner":
-        """Rebuild a runner from a checkpoint, positioned to continue.
+        """Rebuild a runner from one checkpoint, positioned to continue.
 
         ``stream`` must be constructed with the same parameters as the
         checkpointed run's (schedule and concepts are deterministic
         given those); its iterator is then seeked to the captured
         position.  Run options (oracle drift, chunking) come from the
-        checkpoint itself.
+        checkpoint itself.  Every failure mode — unreadable artifact,
+        missing or incompatible harness state — raises
+        :class:`SnapshotError`, so recovery code catches exactly one
+        type.
         """
         system, extra, _meta = load_system(path, verify=verify)
         if extra is None:
-            raise ValueError(f"snapshot at {path} holds no harness state")
-        chunk_size = extra["chunk_size"]
-        runner = cls(
-            system,
-            stream,
-            oracle_drift=bool(extra["oracle_drift"]),
-            chunk_size=None if chunk_size is None else int(chunk_size),
-            keep_history=keep_history,
-            checkpoint_path=checkpoint_path if checkpoint_path is not None else path,
-            checkpoint_every=checkpoint_every,
-            clock=clock,
-        )
-        runner._n_seen = int(extra["n_seen"])
-        runner._runtime = float(extra["runtime"])
-        runner._confusion.matrix[:] = np.asarray(
-            extra["confusion"], dtype=np.int64
-        )
-        runner._concept_ids = [int(c) for c in np.asarray(extra["concept_ids"])]
-        runner._state_ids = [int(s) for s in np.asarray(extra["state_ids"])]
-        previous = extra["previous_concept"]
-        runner._previous_concept = None if previous is None else int(previous)
-        buffered = extra["buf_concept"]
-        runner._buf_concept = None if buffered is None else int(buffered)
-        runner._exhausted = bool(extra["exhausted"])
-        runner._last_checkpoint = runner._n_seen
-        if "stream_iter" in extra:
-            if not runner._resumable:
-                raise ValueError(
-                    "checkpoint captured a stream position but this "
-                    "stream is not resumable"
-                )
-            runner._iter.load_state_dict(extra["stream_iter"])
+            raise SnapshotError(f"snapshot at {path} holds no harness state")
+        try:
+            chunk_size = extra["chunk_size"]
+            runner = cls(
+                system,
+                stream,
+                oracle_drift=bool(extra["oracle_drift"]),
+                chunk_size=None if chunk_size is None else int(chunk_size),
+                keep_history=keep_history,
+                checkpoint_path=checkpoint_path if checkpoint_path is not None else path,
+                checkpoint_every=checkpoint_every,
+                keep_checkpoints=keep_checkpoints,
+                clock=clock,
+                faults=faults,
+                guard=guard,
+            )
+            runner._n_seen = int(extra["n_seen"])
+            runner._runtime = float(extra["runtime"])
+            runner._confusion.matrix[:] = np.asarray(
+                extra["confusion"], dtype=np.int64
+            )
+            runner._concept_ids = [
+                int(c) for c in np.asarray(extra["concept_ids"])
+            ]
+            runner._state_ids = [int(s) for s in np.asarray(extra["state_ids"])]
+            previous = extra["previous_concept"]
+            runner._previous_concept = None if previous is None else int(previous)
+            buffered = extra["buf_concept"]
+            runner._buf_concept = None if buffered is None else int(buffered)
+            runner._exhausted = bool(extra["exhausted"])
+            runner.n_dropped = int(extra.get("n_dropped", 0))
+            runner._in_outage = bool(extra.get("in_outage", False))
+            runner._last_checkpoint = runner._n_seen
+            if "stream_iter" in extra:
+                if not runner._resumable:
+                    raise ValueError(
+                        "checkpoint captured a stream position but this "
+                        "stream is not resumable"
+                    )
+                runner._iter.load_state_dict(extra["stream_iter"])
+            if guard is not None and "guard" in extra:
+                guard.load_state_dict(extra["guard"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"snapshot at {path} holds an incompatible harness "
+                f"state: {exc}"
+            ) from exc
         return runner
 
+    @classmethod
+    def restore_latest(
+        cls,
+        root: Union[str, Path],
+        stream: Stream,
+        *,
+        keep_history: bool = True,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: Optional[int] = None,
+        keep_checkpoints: int = 1,
+        verify: bool = True,
+        clock: Optional[Callable[[], float]] = None,
+        faults: Optional[FaultInjector] = None,
+        guard: Optional[ObservationGuard] = None,
+        audit: AuditLog = NULL_AUDIT,
+    ) -> "StreamRunner":
+        """Restore from the newest *verifiable* checkpoint under ``root``.
 
-__all__ = ["StreamRunner"]
+        Walks the retained chain newest-first; every candidate that
+        fails (:class:`SnapshotError` — truncated payload, digest
+        mismatch, wrong schema version, undecodable state) is audited
+        as a ``snapshot_fallback`` and skipped.  Resuming from an
+        older chain entry replays the stream from an earlier position,
+        so the finished traces stay bit-for-bit identical to an
+        uninterrupted run.  Raises :class:`SnapshotError` when no
+        candidate verifies.
+        """
+        root = Path(root)
+        candidates = checkpoint_chain(root)
+        if not candidates:
+            raise SnapshotError(f"no checkpoint candidates under {root}")
+        errors: List[str] = []
+        for candidate in candidates:
+            if faults is not None and faults.fire(
+                "snapshot.load", label=str(candidate)
+            ):
+                errors.append(f"{candidate.name}: injected load rejection")
+                audit.log(
+                    "snapshot_fallback",
+                    -1,
+                    path=str(candidate),
+                    error="injected load rejection",
+                )
+                continue
+            try:
+                runner = cls.restore(
+                    candidate,
+                    stream,
+                    keep_history=keep_history,
+                    checkpoint_path=(
+                        checkpoint_path if checkpoint_path is not None else root
+                    ),
+                    checkpoint_every=checkpoint_every,
+                    keep_checkpoints=keep_checkpoints,
+                    verify=verify,
+                    clock=clock,
+                    faults=faults,
+                    guard=guard,
+                )
+            except SnapshotError as exc:
+                errors.append(f"{candidate.name}: {exc}")
+                audit.log(
+                    "snapshot_fallback",
+                    -1,
+                    path=str(candidate),
+                    error=str(exc),
+                )
+                continue
+            if errors:
+                metrics = getattr(runner.system, "metrics", NULL_COLLECTOR)
+                metrics.inc("snapshot.fallbacks", len(errors))
+            return runner
+        raise SnapshotError(
+            f"no verifiable checkpoint under {root}: " + "; ".join(errors)
+        )
+
+
+__all__ = ["StreamRunner", "checkpoint_chain", "CHAIN_PREFIX"]

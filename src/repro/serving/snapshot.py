@@ -187,22 +187,42 @@ def system_payload(system: Any) -> Dict[str, Any]:
 
 
 def system_from_payload(payload: Dict[str, Any]) -> Any:
-    """Rebuild an adaptive system from :func:`system_payload` output."""
+    """Rebuild an adaptive system from :func:`system_payload` output.
+
+    Any decode failure — missing keys, mistyped leaves, an
+    unpicklable blob — surfaces as :class:`SnapshotError`: this is the
+    single exception type recovery paths (the engine's checkpoint
+    fallback, :meth:`StreamRunner.restore_latest`'s chain walk) catch,
+    so wrapping here keeps those handlers narrow.
+    """
     kind = payload.get("kind")
     if kind == "ficsum":
         from repro.core.config import FicsumConfig
         from repro.core.ficsum import Ficsum
 
-        overrides = dict(payload["config_overrides"])
-        overrides["seed"] = int(payload["config_seed"])
-        cfg = FicsumConfig.from_overrides(overrides)
-        system = Ficsum(
-            int(payload["n_features"]), int(payload["n_classes"]), cfg
-        )
-        system.load_state_dict(payload["state"])
+        try:
+            overrides = dict(payload["config_overrides"])
+            overrides["seed"] = int(payload["config_seed"])
+            cfg = FicsumConfig.from_overrides(overrides)
+            system = Ficsum(
+                int(payload["n_features"]), int(payload["n_classes"]), cfg
+            )
+            system.load_state_dict(payload["state"])
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"undecodable ficsum system payload: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
         return system
     if kind == "pickled":
-        return pickle.loads(payload["blob"])
+        try:
+            return pickle.loads(payload["blob"])
+        except (KeyError, TypeError, ValueError, EOFError,
+                pickle.UnpicklingError) as exc:
+            raise SnapshotError(
+                f"undecodable pickled system payload: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
     raise SnapshotError(f"unknown system snapshot kind {kind!r}")
 
 
@@ -226,8 +246,15 @@ def save_system(
 def load_system(
     path: Union[str, Path], verify: bool = True
 ) -> Tuple[Any, Optional[Dict[str, Any]], Dict[str, Any]]:
-    """Load ``(system, extra_state, meta)`` from :func:`save_system`."""
+    """Load ``(system, extra_state, meta)`` from :func:`save_system`.
+
+    Raises :class:`SnapshotError` for every failure mode — a missing
+    or tampered artifact (:func:`read_state`), a state tree without a
+    system entry, or an undecodable system payload.
+    """
     state, meta = read_state(path, verify=verify)
+    if "system" not in state:
+        raise SnapshotError(f"snapshot at {path} holds no system payload")
     system = system_from_payload(state["system"])
     return system, state.get("extra"), meta
 

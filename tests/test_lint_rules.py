@@ -46,10 +46,10 @@ def rule_ids(report):
 # ----------------------------------------------------------------------
 # Framework plumbing
 # ----------------------------------------------------------------------
-def test_all_five_rule_families_registered():
-    assert {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005"} <= set(
-        RULES.names()
-    )
+def test_all_rule_families_registered():
+    assert {
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+    } <= set(RULES.names())
 
 
 def test_module_group_derivation():
@@ -503,6 +503,145 @@ def test_rpr005_silent_on_complete_components(tmp_path):
             """,
         },
         rules=["RPR005"],
+    )
+    assert rule_ids(report) == []
+
+
+# ----------------------------------------------------------------------
+# RPR006: fault-injection hygiene
+# ----------------------------------------------------------------------
+def test_rpr006_fires_on_adhoc_crash_hook(tmp_path):
+    report = lint_tree(
+        tmp_path,
+        {
+            "repro/streams/chaos.py": """\
+                import os
+
+                def maybe_crash(step):
+                    if step == 100:
+                        os.kill(os.getpid(), 9)
+            """,
+        },
+        rules=["RPR006"],
+    )
+    assert rule_ids(report) == ["RPR006"]
+    assert "repro.faults" in report.findings[0].message
+
+
+def test_rpr006_crash_hooks_allowed_inside_faults_package(tmp_path):
+    report = lint_tree(
+        tmp_path,
+        {
+            "repro/faults/inject.py": """\
+                import os
+
+                def crash_now():
+                    os._exit(3)
+            """,
+        },
+        rules=["RPR006"],
+    )
+    assert rule_ids(report) == []
+
+
+def test_rpr006_fire_requires_literal_registered_site(tmp_path):
+    report = lint_tree(
+        tmp_path,
+        {
+            "repro/serving/bad_sites.py": """\
+                def poke(faults, site):
+                    faults.fire("made.up.site")
+                    faults.fire(site)
+            """,
+        },
+        rules=["RPR006"],
+    )
+    assert rule_ids(report) == ["RPR006", "RPR006"]
+    assert "unregistered injection site" in report.findings[0].message
+    assert "string literal" in report.findings[1].message
+
+
+def test_rpr006_silent_on_registered_site(tmp_path):
+    report = lint_tree(
+        tmp_path,
+        {
+            "repro/serving/good_sites.py": """\
+                def poke(faults):
+                    return faults.fire("stream.stall", step=7)
+            """,
+        },
+        rules=["RPR006"],
+    )
+    assert rule_ids(report) == []
+
+
+def test_rpr006_fires_on_silent_broad_handler(tmp_path):
+    report = lint_tree(
+        tmp_path,
+        {
+            "repro/experiments/swallow.py": """\
+                def run(work):
+                    try:
+                        work()
+                    except Exception:
+                        return None
+                    try:
+                        work()
+                    except:
+                        pass
+            """,
+        },
+        rules=["RPR006"],
+    )
+    assert rule_ids(report) == ["RPR006", "RPR006"]
+    assert "except Exception" in report.findings[0].message
+    assert "bare except" in report.findings[1].message
+
+
+def test_rpr006_silent_when_handler_reraises_or_reports(tmp_path):
+    report = lint_tree(
+        tmp_path,
+        {
+            "repro/experiments/handled.py": """\
+                def run(work, audit, tracker):
+                    try:
+                        work()
+                    except Exception:
+                        raise RuntimeError("wrapped")
+                    try:
+                        work()
+                    except Exception as exc:
+                        audit.log("cell_failed", -1, error=str(exc))
+                    try:
+                        work()
+                    except Exception as exc:
+                        tracker.quarantine(exc)
+                # Narrow handlers are always fine.
+                def narrow(work):
+                    try:
+                        work()
+                    except (ValueError, KeyError):
+                        return None
+            """,
+        },
+        rules=["RPR006"],
+    )
+    assert rule_ids(report) == []
+
+
+def test_rpr006_out_of_scope_for_tests(tmp_path):
+    report = lint_tree(
+        tmp_path,
+        {
+            "tests/test_something.py": """\
+                def test_ignores(work):
+                    try:
+                        work()
+                    except Exception:
+                        pass
+            """,
+        },
+        rules=["RPR006"],
     )
     assert rule_ids(report) == []
 
