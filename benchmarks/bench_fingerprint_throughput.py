@@ -22,8 +22,18 @@ extraction loops:
 The headline comparison uses the rolling-capable component set (the
 moments, ACF/PACF and turning rate); the full 13-function set is also
 measured for context — its EMD/MI/Shapley cost is unavoidable batch
-work on every path.  Emits ``BENCH_fingerprint_throughput.json`` and
-asserts the incremental path clears 3x the pre-refactor throughput.
+work on every path.
+
+The full set is additionally measured under every ``sketch_profile``
+(exact / balanced / fast): the sketch-mode components replace the
+EMD/MI/Shapley batch work with streaming-histogram and projection
+sketches, and the per-profile Table I accuracy delta (FiCSUM accuracy
+vs the exact profile on a small drift stream, percentage points) is
+reported beside the throughput so the accuracy-vs-speed trade is one
+committed artifact.  Emits ``BENCH_fingerprint_throughput.json`` and
+asserts the incremental path clears 3x the pre-refactor throughput,
+the ``fast`` profile clears 5x the exact full-set path, and the
+``balanced`` accuracy delta stays within 1 pp.
 """
 
 from __future__ import annotations
@@ -34,12 +44,19 @@ from collections import deque
 import numpy as np
 from _harness import SCALE, render_table, save_bench_json, save_table
 
-from repro.metafeatures import FingerprintPipeline
+from repro.core import FicsumConfig
+from repro.evaluation.runner import run_on_dataset
+from repro.metafeatures import SKETCH_PROFILE_NAMES, FingerprintPipeline
 from repro.utils.windows import ObservationWindow
 
 WINDOW = 75
 N_FEATURES = 8  # mid-range for Table II streams (CMC 9, Wine 12, AQ* 24)
 N_OBS = int(2000 * max(SCALE, 1.0))
+#: Stream scale and seeds of the per-profile FiCSUM accuracy-delta
+#: runs.  Averaging over seeds keeps the delta a property of the
+#: sketch, not of one run's drift-decision cascade.
+DELTA_SEGMENT = int(250 * max(SCALE, 0.5))
+DELTA_SEEDS = (0, 1, 2, 3)
 
 #: Every component in this set admits O(1) rolling updates.
 ROLLING_SET = [
@@ -133,7 +150,58 @@ def run_throughput() -> dict:
     return results
 
 
-def build_table(results: dict) -> str:
+def run_profiles(stream) -> dict:
+    """Full-set incremental throughput under every sketch profile."""
+    timings = {}
+    for profile in SKETCH_PROFILE_NAMES:
+        pipe = FingerprintPipeline(
+            N_FEATURES, window_size=WINDOW, sketch_profile=profile
+        )
+        timings[profile] = run_incremental(pipe, stream)
+    results = {
+        profile: {
+            "wall_time_s": round(t, 4),
+            "obs_per_sec": round(N_OBS / t, 1),
+        }
+        for profile, t in timings.items()
+    }
+    for profile in SKETCH_PROFILE_NAMES:
+        if profile != "exact":
+            results[f"speedup_{profile}_vs_exact"] = round(
+                timings["exact"] / timings[profile], 2
+            )
+    return results
+
+
+def measure_accuracy_deltas() -> dict:
+    """Per-profile FiCSUM accuracy delta vs exact, percentage points.
+
+    Small STAGGER runs per profile — same seeds, same streams, only
+    the sketch profile differs — so the delta isolates what sketching
+    the Table I components costs in end-to-end accuracy, averaged over
+    :data:`DELTA_SEEDS` to wash out single-run drift-decision noise.
+    """
+    sums = {profile: 0.0 for profile in SKETCH_PROFILE_NAMES}
+    for seed in DELTA_SEEDS:
+        for profile in SKETCH_PROFILE_NAMES:
+            result = run_on_dataset(
+                "ficsum",
+                "STAGGER",
+                seed=seed,
+                segment_length=DELTA_SEGMENT,
+                n_repeats=1,
+                config=FicsumConfig(sketch_profile=profile),
+            )
+            sums[profile] += result.accuracy
+    n = len(DELTA_SEEDS)
+    return {
+        profile: round(100.0 * (sums[profile] - sums["exact"]) / n, 3)
+        for profile in SKETCH_PROFILE_NAMES
+        if profile != "exact"
+    }
+
+
+def build_table(results: dict, profiles: dict, deltas: dict) -> str:
     rows = []
     for label, modes in results.items():
         for mode in ("batch_list", "batch_views", "incremental"):
@@ -148,6 +216,17 @@ def build_table(results: dict) -> str:
         rows.append(
             [label, "speedup", f"{modes['speedup_vs_batch_list']:.2f}x", ""]
         )
+    for profile in SKETCH_PROFILE_NAMES:
+        mode = f"incremental/{profile}"
+        delta = "" if profile == "exact" else f"Δacc {deltas[profile]:+.2f}pp"
+        rows.append(
+            [
+                "full-set",
+                mode,
+                f"{profiles[profile]['wall_time_s']:.3f}",
+                f"{profiles[profile]['obs_per_sec']:.0f} {delta}".strip(),
+            ]
+        )
     return render_table(
         f"Fingerprint extraction throughput (P_C=1, w={WINDOW}, "
         f"d={N_FEATURES}, {N_OBS} observations)",
@@ -156,14 +235,29 @@ def build_table(results: dict) -> str:
         notes=(
             "batch_list replays the pre-refactor extractor loop "
             "(deque rebuild + full-window recompute); incremental is "
-            "the rolling-accumulator hot path."
+            "the rolling-accumulator hot path; incremental/<profile> is "
+            "the full set under a sketch_profile, with the FiCSUM "
+            "accuracy delta vs exact on a small STAGGER stream."
         ),
     )
 
 
+def run_all() -> dict:
+    return {
+        "modes": run_throughput(),
+        "profiles": run_profiles(make_stream()),
+        "accuracy_delta_pp": measure_accuracy_deltas(),
+    }
+
+
 def test_fingerprint_throughput(benchmark):
-    results = benchmark.pedantic(run_throughput, rounds=1, iterations=1)
-    save_table("fingerprint_throughput.txt", build_table(results))
+    payload = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    results = payload["modes"]
+    profiles = payload["profiles"]
+    deltas = payload["accuracy_delta_pp"]
+    save_table(
+        "fingerprint_throughput.txt", build_table(results, profiles, deltas)
+    )
     wall = results["rolling-set"]["incremental"]["wall_time_s"]
     save_bench_json(
         "fingerprint_throughput",
@@ -174,8 +268,15 @@ def test_fingerprint_throughput(benchmark):
                 "obs_per_sec"
             ],
             "modes": results,
+            "sketch_profiles": profiles,
+            "accuracy_delta_pp": deltas,
         },
     )
     # The refactor's acceptance bar: >= 3x over the pre-refactor
     # extractor at fingerprint_period=1 on the rolling-capable set.
     assert results["rolling-set"]["speedup_vs_batch_list"] >= 3.0, results
+    # The sketch knob's acceptance bar: the fast profile clears 5x the
+    # exact full-set path, and the balanced profile costs at most 1 pp
+    # of end-to-end accuracy.
+    assert profiles["speedup_fast_vs_exact"] >= 5.0, profiles
+    assert abs(deltas["balanced"]) <= 1.0, deltas

@@ -682,6 +682,57 @@ class FaultHygieneRule(LintRule):
         return False
 
 
+@register_rule
+class SketchDeclarationRule(LintRule):
+    """RPR007: sketch components declare their accuracy trade.
+
+    A meta-feature with ``exact = False`` computes an approximation of
+    a Table I value.  Reported accuracy deltas, the ``repro features``
+    listing and the profile documentation all read the declared
+    metadata, so a sketch component without an ``accuracy_knob``
+    description or a paired ``exact_reference`` component silently
+    drops out of the accuracy-vs-speed accounting.
+    """
+
+    id = "RPR007"
+    contract = (
+        "MetaFeature subclasses declaring exact=False must declare "
+        "accuracy_knob metadata and a paired exact_reference component"
+    )
+    scope = ("metafeatures", "tests")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for module in ctx.group(*self.scope):
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if node.name == "MetaFeature" or not _subclasses_metafeature(node):
+                    continue
+                yield from self._check_component(module, node)
+
+    def _check_component(
+        self, module: SourceModule, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        if _class_flags(cls).get("exact") is not False:
+            return
+        if not _declares_str_attr(cls, "accuracy_knob"):
+            yield self.finding(
+                module,
+                cls,
+                f"{cls.name} declares exact=False without an "
+                "accuracy_knob describing what is approximated and by "
+                "how much",
+            )
+        if not _declares_str_attr(cls, "exact_reference"):
+            yield self.finding(
+                module,
+                cls,
+                f"{cls.name} declares exact=False without naming the "
+                "exact_reference component it approximates (accuracy "
+                "deltas are measured against it)",
+            )
+
+
 def _subclasses_metafeature(cls: ast.ClassDef) -> bool:
     for base in cls.bases:
         if isinstance(base, ast.Name) and base.id == "MetaFeature":
@@ -708,8 +759,13 @@ def _class_flags(cls: ast.ClassDef) -> Dict[str, object]:
 
 
 def _declares_name(cls: ast.ClassDef) -> bool:
+    return _declares_str_attr(cls, "name")
+
+
+def _declares_str_attr(cls: ast.ClassDef, attr: str) -> bool:
+    """True if ``attr`` is a non-empty class constant or set in __init__."""
     flags = _class_flags(cls)
-    value = flags.get("name")
+    value = flags.get(attr)
     if isinstance(value, str) and value:
         return True
     init = _method(cls, "__init__")
@@ -720,7 +776,7 @@ def _declares_name(cls: ast.ClassDef) -> bool:
             for target in node.targets:
                 if (
                     isinstance(target, ast.Attribute)
-                    and target.attr == "name"
+                    and target.attr == attr
                     and isinstance(target.value, ast.Name)
                     and target.value.id == "self"
                 ):
@@ -737,4 +793,5 @@ __all__ = [
     "ToggleCoverageRule",
     "RegistryMetadataRule",
     "FaultHygieneRule",
+    "SketchDeclarationRule",
 ]

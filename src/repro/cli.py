@@ -441,8 +441,13 @@ def _print_report(artifacts, metrics: List[str]) -> None:
     if not rows:
         print("no artifacts found")
         return
+    # The sketch column only appears when some run used a non-exact
+    # profile, so plain exact-only reports keep their familiar shape.
+    sketched = any(row.sketch_profile != "exact" for row in rows)
     header = (f"{'system':14s} {'dataset':10s} {'runs':>5s}  "
               + "  ".join(f"{m:>14s}" for m in metrics))
+    if sketched:
+        header += f"  {'sketch':>8s}  {'Δacc(pp)':>9s}"
     print()
     print(header)
     print("-" * len(header))
@@ -452,9 +457,19 @@ def _print_report(artifacts, metrics: List[str]) -> None:
             for m in metrics
         )
         dataset = f"{row.dataset}*" if row.oracle else row.dataset
-        print(f"{row.system:14s} {dataset:10s} {row.n_runs:5d}  {cells}")
+        line = f"{row.system:14s} {dataset:10s} {row.n_runs:5d}  {cells}"
+        if sketched:
+            delta = (
+                "-" if row.accuracy_delta_pp is None
+                else f"{row.accuracy_delta_pp:+.2f}"
+            )
+            line += f"  {row.sketch_profile:>8s}  {delta:>9s}"
+        print(line)
     if any(row.oracle for row in rows):
         print("\n* oracle drift signals (perfect detection)")
+    if sketched:
+        print("\nΔacc(pp): accuracy delta vs the matching exact-profile "
+              "rows (percentage points)")
 
 
 def _cmd_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -669,7 +684,8 @@ def _cmd_features() -> int:
         for group, members in function_groups().items()
         for name in members
     }
-    print(f"{'name':14s} {'group':24s} {'update':>12s}  flags")
+    print(f"{'name':18s} {'group':18s} {'update':>12s} {'exact':>6s} "
+          f"{'cost':>16s}  flags")
     for name in METAFEATURES.ordered_names():
         component = METAFEATURES[name]
         flags = []
@@ -679,9 +695,13 @@ def _cmd_features() -> int:
             flags.append("needs-classifier")
         if component.feature_sources_only:
             flags.append("feature-sources-only")
+        if not component.exact and component.exact_reference:
+            flags.append(f"sketch-of:{component.exact_reference}")
         update = "incremental" if component.incremental else "batch"
+        exact = "yes" if component.exact else "no"
         print(
-            f"{name:14s} {groups.get(name, name):24s} {update:>12s}  "
+            f"{name:18s} {groups.get(name, name):18s} {update:>12s} "
+            f"{exact:>6s} {component.cost:>16s}  "
             + (", ".join(flags) or "-")
         )
     return 0

@@ -48,6 +48,15 @@ class FicsumConfig:
         Serve rolling-capable meta-features from O(1) accumulators on
         the fingerprint hot path (batch recomputation remains the
         reference path and is used when disabled).
+    sketch_profile:
+        Accuracy-vs-speed knob for the extraction kernels: ``"exact"``
+        (default, Table I values, provably unchanged), ``"balanced"``
+        (close sketch approximations: streaming-histogram MI,
+        subsampled IMF entropy / permutation importance) or ``"fast"``
+        (cheapest sketches: pseudo-random projection entropies).  The
+        substituted components carry declared ``accuracy_knob``
+        metadata; reported Table I accuracy deltas vs ``"exact"`` are a
+        first-class metric of the experiment engine.
     extraction_cache:
         Share the classifier-independent fingerprint dimensions across
         all candidate states fingerprinting the same window (model
@@ -127,6 +136,7 @@ class FicsumConfig:
     functions: Optional[Sequence[str]] = None
     source_set: str = "all"
     incremental: bool = True
+    sketch_profile: str = "exact"
     extraction_cache: bool = True
     vectorized_selection: bool = True
     forest_routing: bool = True
@@ -167,6 +177,11 @@ class FicsumConfig:
             from repro.metafeatures.base import expand_functions
 
             expand_functions(self.metafeatures)
+        if self.sketch_profile not in ("exact", "balanced", "fast"):
+            raise ValueError(
+                "sketch_profile must be one of ('exact', 'balanced', "
+                f"'fast'), got {self.sketch_profile!r}"
+            )
         if self.window_size < 5:
             raise ValueError(f"window_size must be >= 5, got {self.window_size}")
         if not 0.0 <= self.buffer_ratio <= 2.0:

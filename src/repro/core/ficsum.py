@@ -88,6 +88,7 @@ class Ficsum(AdaptiveSystem):
             source_set=cfg.source_set,
             shapley_max_eval=cfg.shapley_max_eval,
             window_size=cfg.window_size if cfg.incremental else None,
+            sketch_profile=cfg.sketch_profile,
         )
         self.n_dims = self.pipeline.n_dims
         try:

@@ -122,44 +122,76 @@ def load_artifacts(results_dir: Union[str, Path]) -> List[RunArtifact]:
 
 @dataclass(frozen=True)
 class AggregateRow:
-    """Per-(system, dataset, oracle) summary across seeds."""
+    """Per-(system, dataset, oracle, sketch profile) summary across seeds.
+
+    ``accuracy_delta_pp`` is the Table I accuracy delta of a sketch
+    profile vs the matching ``"exact"`` rows (mean accuracy difference
+    in percentage points, same system/dataset/oracle); ``None`` for
+    exact rows and when no exact counterpart exists in the directory.
+    """
 
     system: str
     dataset: str
     n_runs: int
     metrics: Dict[str, Tuple[float, float]]  # metric -> (mean, std)
     oracle: bool = False
+    sketch_profile: str = "exact"
+    accuracy_delta_pp: Optional[float] = None
+
+
+def cell_sketch_profile(cell: RunCell) -> str:
+    """The sketch profile a cell ran under (default ``"exact"``)."""
+    return str(dict(cell.config_overrides).get("sketch_profile", "exact"))
 
 
 def aggregate(
     artifacts: Iterable[RunArtifact],
     metrics: Sequence[str] = ("kappa", "c_f1", "accuracy"),
 ) -> List[AggregateRow]:
-    """Group artifacts by (system, dataset, oracle) and summarise.
+    """Group artifacts by (system, dataset, oracle, profile) and summarise.
 
     Oracle and detector-driven runs answer different questions (the
     paper's supplementary protocol vs Tables IV/VI), so a results
     directory holding both yields separate rows rather than a silently
-    pooled mean.
+    pooled mean.  Likewise runs under different sketch profiles: each
+    profile gets its own row, and non-exact rows additionally report
+    the accuracy delta vs their exact counterpart — the first-class
+    measurement of the accuracy-vs-speed knob.
     """
-    groups: Dict[Tuple[str, str, bool], List[RunArtifact]] = {}
+    groups: Dict[Tuple[str, str, bool, str], List[RunArtifact]] = {}
     for artifact in artifacts:
         groups.setdefault(
-            (artifact.cell.system, artifact.cell.dataset, artifact.cell.oracle),
+            (
+                artifact.cell.system,
+                artifact.cell.dataset,
+                artifact.cell.oracle,
+                cell_sketch_profile(artifact.cell),
+            ),
             [],
         ).append(artifact)
-    rows = []
-    for (system, dataset, oracle), group in sorted(groups.items()):
+    summaries: Dict[Tuple[str, str, bool, str], Dict[str, Tuple[float, float]]] = {}
+    for key, group in groups.items():
         summary: Dict[str, Tuple[float, float]] = {}
         for metric in metrics:
             values = [float(getattr(a.result, metric)) for a in group]
             mean = sum(values) / len(values)
             var = sum((v - mean) ** 2 for v in values) / len(values)
             summary[metric] = (mean, var ** 0.5)
+        summaries[key] = summary
+    rows = []
+    for key, group in sorted(groups.items()):
+        system, dataset, oracle, profile = key
+        summary = summaries[key]
+        delta: Optional[float] = None
+        if profile != "exact":
+            exact = summaries.get((system, dataset, oracle, "exact"))
+            if exact is not None and "accuracy" in exact and "accuracy" in summary:
+                delta = 100.0 * (summary["accuracy"][0] - exact["accuracy"][0])
         rows.append(
             AggregateRow(
                 system=system, dataset=dataset, n_runs=len(group),
-                metrics=summary, oracle=oracle,
+                metrics=summary, oracle=oracle, sketch_profile=profile,
+                accuracy_delta_pp=delta,
             )
         )
     return rows

@@ -141,6 +141,11 @@ class ExperimentSpec:
         FiCSUM family — sugar for ``config={"metafeatures": [...]}``,
         so Table V variants and user-registered components are one spec
         entry.  May not conflict with a selection inside ``config``.
+    sketch_profile:
+        Extraction accuracy-vs-speed knob applied to the FiCSUM family
+        — sugar for ``config={"sketch_profile": ...}`` (``"exact"``,
+        ``"balanced"`` or ``"fast"``).  May not conflict with a profile
+        inside ``config``.
     """
 
     systems: Tuple[str, ...]
@@ -161,6 +166,7 @@ class ExperimentSpec:
         oracle: bool = False,
         config: Union[None, FicsumConfig, Mapping[str, Any]] = None,
         metafeatures: Optional[Sequence[str]] = None,
+        sketch_profile: Optional[str] = None,
     ) -> None:
         if not systems:
             raise ValueError("ExperimentSpec needs at least one system")
@@ -179,6 +185,16 @@ class ExperimentSpec:
                 )
             overrides = _normalized_overrides(
                 {**overrides, "metafeatures": selection}
+            )
+        if sketch_profile is not None:
+            inside = overrides.get("sketch_profile")
+            if inside is not None and inside != sketch_profile:
+                raise ValueError(
+                    "sketch_profile given both as a spec field and inside "
+                    f"config ({sketch_profile!r} vs {inside!r}); pass one"
+                )
+            overrides = _normalized_overrides(
+                {**overrides, "sketch_profile": sketch_profile}
             )
         object.__setattr__(self, "systems", tuple(systems))
         object.__setattr__(self, "datasets", tuple(datasets))
@@ -240,7 +256,7 @@ class ExperimentSpec:
     def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
         known = {
             "systems", "datasets", "seeds", "segment_length", "n_repeats",
-            "oracle", "config", "metafeatures",
+            "oracle", "config", "metafeatures", "sketch_profile",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -258,6 +274,7 @@ class ExperimentSpec:
             oracle=payload.get("oracle", False),
             config=payload.get("config"),
             metafeatures=payload.get("metafeatures"),
+            sketch_profile=payload.get("sketch_profile"),
         )
 
     @classmethod

@@ -40,6 +40,11 @@ from repro.metafeatures.pipeline import (
 from repro.metafeatures.rolling import ErrorDistanceTracker, RollingWindowStats
 from repro.metafeatures.emd import empirical_mode_decomposition, imf_energy_entropy
 from repro.metafeatures.shapley import window_permutation_importance
+from repro.metafeatures.sketch import (
+    SKETCH_PROFILE_NAMES,
+    SKETCH_PROFILES,
+    apply_sketch_profile,
+)
 
 __all__ = [
     "FUNCTION_NAMES",
@@ -63,4 +68,7 @@ __all__ = [
     "empirical_mode_decomposition",
     "imf_energy_entropy",
     "window_permutation_importance",
+    "SKETCH_PROFILE_NAMES",
+    "SKETCH_PROFILES",
+    "apply_sketch_profile",
 ]

@@ -26,7 +26,7 @@ CLI listing all derive from the registration.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -53,20 +53,33 @@ class WindowContext:  # repro-lint: disable=RPR002
     def __init__(self, matrix: np.ndarray) -> None:
         self.matrix = matrix
         self._acf: Dict[int, np.ndarray] = {}
-        self._imf: Optional[np.ndarray] = None
+        self._imf: Dict[Tuple[int, str, int], np.ndarray] = {}
 
     def acf(self, lag: int) -> np.ndarray:
         if lag not in self._acf:
             self._acf[lag] = autocorr.row_acf(self.matrix, lag)
         return self._acf[lag]
 
-    def imf_table(self) -> np.ndarray:
-        """``(n_rows, 2)`` IMF energy entropies, one EMD per row."""
-        if self._imf is None:
-            self._imf = np.stack(
-                [imf_entropies(row, 2) for row in self.matrix]
+    def imf_table(
+        self, n_imfs: int = 2, spline: str = "linear", stride: int = 1
+    ) -> np.ndarray:
+        """``(n_rows, n_imfs)`` IMF energy entropies, one EMD per row.
+
+        Honours the EMD spline choice and depth instead of hard-coding
+        the defaults, and memoises per ``(n_imfs, spline, stride)`` key
+        so exact and subsampled components sharing a decomposition
+        (``stride > 1`` decimates each row before sifting — the sketch
+        subsample) pay it once per extraction.
+        """
+        key = (n_imfs, spline, stride)
+        table = self._imf.get(key)
+        if table is None:
+            data = self.matrix[:, ::stride] if stride > 1 else self.matrix
+            table = np.stack(
+                [imf_entropies(row, n_imfs, spline=spline) for row in data]
             )
-        return self._imf
+            self._imf[key] = table
+        return table
 
 
 class MetaFeature:
@@ -93,6 +106,20 @@ class MetaFeature:
     feature_sources_only: bool = False
     #: Supports O(1) rolling updates via ``rolling_rows``.
     incremental: bool = False
+    #: Computes the exact Table I value.  Sketch-mode components set
+    #: False and must then declare ``accuracy_knob`` and
+    #: ``exact_reference`` (enforced by lint rule RPR007).
+    exact: bool = True
+    #: Human-readable accuracy-vs-speed trade declaration for sketch
+    #: components (what is approximated, and by how much).
+    accuracy_knob: str = ""
+    #: Registry name of the exact component a sketch approximates.
+    exact_reference: str = ""
+    #: Per-extraction cost class shown by ``repro features``.
+    cost: str = "O(w)"
+    #: Reads the streaming joint-histogram accumulator on the rolling
+    #: path (the pipeline enables it on the window stats when set).
+    uses_histogram: bool = False
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -171,6 +198,7 @@ class MetaFeature:
 class Mean(MetaFeature):
     name = "mean"
     incremental = True
+    cost = "O(1)"
 
     def batch_scalar(self, seq: np.ndarray) -> float:
         return moments.seq_mean(seq)
@@ -191,6 +219,7 @@ class Mean(MetaFeature):
 class Std(MetaFeature):
     name = "std"
     incremental = True
+    cost = "O(1)"
 
     def batch_scalar(self, seq: np.ndarray) -> float:
         return moments.seq_std(seq)
@@ -210,6 +239,7 @@ class Std(MetaFeature):
 class Skew(MetaFeature):
     name = "skew"
     incremental = True
+    cost = "O(1)"
 
     def batch_scalar(self, seq: np.ndarray) -> float:
         return moments.seq_skew(seq)
@@ -233,6 +263,7 @@ class Skew(MetaFeature):
 class Kurtosis(MetaFeature):
     name = "kurtosis"
     incremental = True
+    cost = "O(1)"
 
     def batch_scalar(self, seq: np.ndarray) -> float:
         return moments.seq_kurtosis(seq)
@@ -259,6 +290,7 @@ class Kurtosis(MetaFeature):
 class Acf(MetaFeature):
     group = "autocorrelation"
     incremental = True
+    cost = "O(1)"
 
     def __init__(self, lag: int) -> None:
         self.lag = lag
@@ -283,6 +315,7 @@ class Acf(MetaFeature):
 class Pacf(MetaFeature):
     group = "partial_autocorrelation"
     incremental = True
+    cost = "O(1)"
 
     def __init__(self, lag: int) -> None:
         self.lag = lag
@@ -313,6 +346,7 @@ class Pacf(MetaFeature):
 class MutualInformation(MetaFeature):
     name = "mi"
     group = "mutual_information"
+    cost = "O(w log w)"
 
     def batch_scalar(self, seq: np.ndarray) -> float:
         return lagged_mutual_information(seq)
@@ -322,6 +356,7 @@ class TurningRate(MetaFeature):
     name = "turning_rate"
     group = "turning_point_rate"
     incremental = True
+    cost = "O(1)"
 
     def batch_scalar(self, seq: np.ndarray) -> float:
         return turning_points.seq_turning_rate(seq)
@@ -341,22 +376,25 @@ class TurningRate(MetaFeature):
 
 class ImfEntropy(MetaFeature):
     group = "imf_entropy"
+    cost = "O(w·siftings)"
 
-    def __init__(self, mode: int) -> None:
+    def __init__(self, mode: int, spline: str = "linear") -> None:
         self.mode = mode
+        self.spline = spline
         self.name = f"imf{mode}_entropy"
 
     def batch_scalar(self, seq: np.ndarray) -> float:
-        return float(imf_entropies(seq, 2)[self.mode - 1])
+        return float(imf_entropies(seq, 2, spline=self.spline)[self.mode - 1])
 
     def batch_scalar_cached(self, seq: np.ndarray, cache: Dict) -> float:
-        table = cache.get("imf")
+        key = ("imf", self.spline)
+        table = cache.get(key)
         if table is None:
-            table = cache["imf"] = imf_entropies(seq, 2)
+            table = cache[key] = imf_entropies(seq, 2, spline=self.spline)
         return float(table[self.mode - 1])
 
     def batch_rows(self, ctx: WindowContext) -> np.ndarray:
-        return ctx.imf_table()[:, self.mode - 1]
+        return ctx.imf_table(2, self.spline)[:, self.mode - 1]
 
     # One decomposition per row, shared between both entropy modes
     # through the context memo (the row analogue of the scalar cache).
@@ -368,6 +406,7 @@ class Shapley(MetaFeature):
     classifier_dependent = True
     needs_classifier = True
     feature_sources_only = True
+    cost = "O(k·d·w)"
 
     def batch_scalar(self, seq: np.ndarray) -> float:
         # Undefined for plain sequences (needs a classifier + features).

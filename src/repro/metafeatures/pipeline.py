@@ -56,6 +56,7 @@ from repro.classifiers.base import Classifier
 from repro.metafeatures.base import expand_functions
 from repro.metafeatures.components import MetaFeature, WindowContext
 from repro.metafeatures.rolling import ErrorDistanceTracker, RollingWindowStats
+from repro.metafeatures.sketch import HISTOGRAM_BINS, apply_sketch_profile
 from repro.registry import METAFEATURES
 
 SOURCE_SETS = ("all", "supervised", "unsupervised", "error_rate")
@@ -179,6 +180,12 @@ class FingerprintPipeline:
     window_size:
         Sliding-window length for the incremental path; ``None``
         disables the accumulators (batch extraction stays available).
+    sketch_profile:
+        ``"exact"`` keeps the resolved component set untouched;
+        ``"balanced"`` / ``"fast"`` substitute registered sketch-mode
+        components (declared ``exact = False`` trades) for their exact
+        references after expansion — the schema records the substituted
+        names, so fingerprints remain self-describing.
     """
 
     def __init__(
@@ -189,6 +196,7 @@ class FingerprintPipeline:
         shapley_max_eval: int = 12,
         window_size: Optional[int] = None,
         functions: Optional[Sequence[str]] = None,
+        sketch_profile: str = "exact",
     ) -> None:
         if n_features <= 0:
             raise ValueError(f"n_features must be positive, got {n_features}")
@@ -214,6 +222,10 @@ class FingerprintPipeline:
             function_names = expand_functions(None)
         else:
             function_names = expand_functions(metafeatures)
+        # Sketch substitution happens after expansion (also validates
+        # the profile name); "exact" maps every name to itself.
+        function_names = apply_sketch_profile(function_names, sketch_profile)
+        self.sketch_profile = sketch_profile
         self.components: Tuple[MetaFeature, ...] = tuple(
             METAFEATURES[name] for name in function_names
         )
@@ -305,6 +317,8 @@ class FingerprintPipeline:
         self._rolling = RollingWindowStats(
             len(self._matrix_sources), window_size
         )
+        if any(c.uses_histogram for c in self.components):
+            self._rolling.enable_histogram(HISTOGRAM_BINS)
         self._error_tracker = (
             ErrorDistanceTracker(window_size) if self._has_error_dists else None
         )
@@ -345,13 +359,42 @@ class FingerprintPipeline:
     ) -> None:
         """Slide the accumulators forward by a chunk of observations.
 
-        The rolling algebra is inherently sequential, so this is a
-        convenience loop over :meth:`push` (one call per observation,
-        identical state evolution).
+        Builds the ``(m, n_rows)`` source block for the chunk in one
+        shot and hands it to the accumulators' block updates
+        (:meth:`RollingWindowStats.push_many` /
+        :meth:`ErrorDistanceTracker.push_many`), which are pinned
+        bit-for-bit against the scalar :meth:`push` loop.
         """
+        if self._rolling is None:
+            raise RuntimeError(
+                "incremental path not initialised; call attach_window() "
+                "or construct the pipeline with window_size="
+            )
         xs = np.asarray(xs, dtype=np.float64)
-        for i in range(len(ys)):
-            self.push(xs[i], int(ys[i]), int(predictions[i]))
+        # int() truncates toward zero, exactly like astype on the
+        # integer side of the scalar path.
+        ys_i = np.asarray(ys).astype(np.int64)
+        preds_i = np.asarray(predictions).astype(np.int64)
+        m = len(ys_i)
+        errors = (ys_i != preds_i).astype(np.float64)
+        if self.source_set == "all":
+            block = np.empty((m, self.n_features + 3))
+            block[:, : self.n_features] = xs
+            block[:, self.n_features] = ys_i
+            block[:, self.n_features + 1] = preds_i
+            block[:, self.n_features + 2] = errors
+        elif self.source_set == "supervised":
+            block = np.empty((m, 3))
+            block[:, 0] = ys_i
+            block[:, 1] = preds_i
+            block[:, 2] = errors
+        elif self.source_set == "unsupervised":
+            block = xs
+        else:  # error_rate
+            block = errors[:, None]
+        self._rolling.push_many(block)
+        if self._error_tracker is not None:
+            self._error_tracker.push_many(errors != 0.0)
 
     @property
     def n_observed(self) -> int:

@@ -68,6 +68,9 @@ class RollingWindowStats:
         self.window_size = window_size
         self._ring = ArrayRing(window_size, n_rows)
         self._turn = ArrayRing(window_size - 2, n_rows, dtype=np.int64)
+        # Streaming joint-histogram accumulator (sketch-mode MI): off
+        # unless a selected component declares ``uses_histogram``.
+        self._hist_bins = 0
         self.reset()
 
     def reset(self) -> None:
@@ -86,6 +89,118 @@ class RollingWindowStats:
         self._gen = 0
         self._moment_cache: Optional[Tuple[int, tuple]] = None
         self._acf_cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
+        self._hist_counts: Optional[np.ndarray] = None
+        self._hist_lo: Optional[np.ndarray] = None
+        self._hist_scale: Optional[np.ndarray] = None
+        self._hist_mi_cache: Optional[Tuple[int, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Streaming joint-histogram (sketch-mode lagged MI)
+    # ------------------------------------------------------------------
+    def enable_histogram(self, bins: int) -> None:
+        """Maintain per-row lag-1 joint-histogram counts under the slide.
+
+        Bin edges freeze per row at the first full window (``lo``/range
+        from that window's values); later observations clip into the
+        boundary bins.  This is the declared sketch divergence from the
+        exact estimator, which re-derives edges from every window — in
+        exchange each slide is an O(n_rows) integer count update and
+        each read an O(n_rows · bins²) table scan, with no per-window
+        ``searchsorted``/``bincount`` rebuild.
+        """
+        if bins < 2:
+            raise ValueError(f"histogram needs >= 2 bins, got {bins}")
+        if self._hist_bins not in (0, bins):
+            raise ValueError(
+                f"histogram already enabled with {self._hist_bins} bins"
+            )
+        self._hist_bins = bins
+
+    @property
+    def histogram_enabled(self) -> bool:
+        return self._hist_bins > 0
+
+    def _hist_index(self, values: np.ndarray) -> np.ndarray:
+        """Frozen-edge bin index per row (boundary bins absorb outliers).
+
+        ``values`` is ``(n_rows,)`` or ``(n_rows, m)`` — the edges
+        broadcast along the trailing block axis.
+        """
+        lo, scale = self._hist_lo, self._hist_scale
+        if values.ndim == 2:
+            lo, scale = lo[:, None], scale[:, None]
+        idx = np.floor((values - lo) * scale)
+        return np.clip(idx, 0, self._hist_bins - 1).astype(np.int64)
+
+    def _hist_freeze(self) -> None:
+        """Freeze edges on the first full window and count its pairs."""
+        window = self._ring.view().T  # (n_rows, w)
+        bins = self._hist_bins
+        lo = window.min(axis=1)
+        hi = window.max(axis=1)
+        span = hi - lo
+        # Degenerate (constant) rows get a unit span: every value lands
+        # in bin 0 and the MI reader reports 0, like the exact guard.
+        span[span < _EPS] = 1.0
+        self._hist_lo = lo
+        self._hist_scale = bins / span
+        idx = self._hist_index(window)  # (n_rows, w)
+        counts = np.zeros((self.n_rows, bins, bins), dtype=np.int64)
+        rows = np.arange(self.n_rows)[:, None]
+        np.add.at(counts, (rows, idx[:, :-1], idx[:, 1:]), 1)
+        self._hist_counts = counts
+
+    def _hist_slide(self, window: np.ndarray, values: np.ndarray) -> None:
+        """Slide the pair counts by one push over a full window.
+
+        ``window`` is the pre-append ``(n_rows, w)`` view: the pair
+        ``(window[:, -1], values)`` enters, ``(window[:, 0],
+        window[:, 1])`` leaves.  One integer increment and decrement per
+        row — the block path applies the same contributions with
+        ``np.add.at``, so the two agree exactly.
+        """
+        rows = np.arange(self.n_rows)
+        counts = self._hist_counts
+        counts[rows, self._hist_index(window[:, -1]), self._hist_index(values)] += 1
+        counts[rows, self._hist_index(window[:, 0]), self._hist_index(window[:, 1])] -= 1
+
+    def histogram_mi(self) -> np.ndarray:
+        """Per-row lagged MI (nats) read from the streaming counts.
+
+        Matches the exact estimator's formula on the maintained joint
+        table; the sketch divergence is the frozen bin edges (and the
+        fixed bin count), not the MI computation itself.  Degenerate
+        rows — too few pairs or all mass in one marginal bin — return
+        0, mirroring the exact guards.
+        """
+        if not self.histogram_enabled:
+            raise RuntimeError("histogram accumulator not enabled")
+        cache = self._hist_mi_cache
+        if cache is not None and cache[0] == self._gen:
+            return cache[1]
+        out = np.zeros(self.n_rows)
+        if self._hist_counts is not None:
+            joint = self._hist_counts.astype(np.float64)
+            total = joint.sum(axis=(1, 2))
+            ok = total >= 4
+            if ok.any():
+                pxy = joint[ok] / total[ok, None, None]
+                px = pxy.sum(axis=2, keepdims=True)
+                py = pxy.sum(axis=1, keepdims=True)
+                # A marginal concentrated in one bin is the frozen-edge
+                # image of a constant row: report 0 like the exact
+                # estimator's std guard.
+                spread = ((px > 0).sum(axis=(1, 2)) > 1) & (
+                    (py > 0).sum(axis=(1, 2)) > 1
+                )
+                indep = px * py
+                mask = pxy > 0
+                ratio = np.ones_like(pxy)
+                np.divide(pxy, indep, out=ratio, where=mask)
+                mi = np.where(mask, pxy * np.log(ratio), 0.0).sum(axis=(1, 2))
+                out[ok] = np.where(spread, mi, 0.0)
+        self._hist_mi_cache = (self._gen, out)
+        return out
 
     # ------------------------------------------------------------------
     @property
@@ -120,6 +235,8 @@ class RollingWindowStats:
             self._p1 -= y0 * (window[:, 1] - self._k)
             self._p2 -= y0 * (window[:, 2] - self._k)
             self._turn_count -= self._turn.view()[0]
+            if self._hist_counts is not None:
+                self._hist_slide(window, values)
 
         y = values - self._k
         self._s1 += y
@@ -139,9 +256,117 @@ class RollingWindowStats:
             self._turn_count += indicator
 
         ring.append(values)
+        if (
+            self._hist_bins
+            and self._hist_counts is None
+            and self.full
+        ):
+            self._hist_freeze()
         self._since_refresh += 1
         if self._since_refresh >= self.window_size and self.full:
             self._refresh()
+
+    def push_many(self, block: np.ndarray) -> None:
+        """Slide the window forward by an ``(m, n_rows)`` block.
+
+        State evolution is **bit-for-bit identical** to ``m``
+        consecutive :meth:`push` calls.  The scalar update folds each
+        sum through an alternating (evict, enter) sequence of IEEE
+        additions — ``a -= b`` is exactly ``a + (-b)`` — so the block
+        path materialises the same signed contributions in the same
+        order and folds them with one ``np.cumsum`` per sum along the
+        time axis (ufunc accumulation *is* the sequential fold).  The
+        block is cut at refresh boundaries so :meth:`_refresh`
+        re-anchors after exactly the same push as the scalar loop.
+        """
+        block = np.asarray(block, dtype=np.float64)
+        if block.ndim != 2 or block.shape[1] != self.n_rows:
+            raise ValueError(
+                f"block shape {block.shape} does not match (m, {self.n_rows})"
+            )
+        i = 0
+        m = block.shape[0]
+        # Warmup (window not yet full) happens once per stream and has
+        # per-push branching (anchor, first lag pairs); loop it.
+        while i < m and not self.full:
+            self.push(block[i])
+            i += 1
+        while i < m:
+            seg = min(m - i, self.window_size - self._since_refresh)
+            self._push_block_full(block[i : i + seg])
+            self._since_refresh += seg
+            if self._since_refresh >= self.window_size:
+                self._refresh()
+            i += seg
+
+    def _push_block_full(self, block: np.ndarray) -> None:
+        """Steady-state block slide (full window, no refresh inside)."""
+        m = block.shape[0]
+        w = self.window_size
+        k = self._k
+        self._gen += m
+        # Timeline per row: current window followed by the entering
+        # block — every evicted/entering value an update reads is a
+        # column of it.
+        timeline = np.empty((self.n_rows, w + m))
+        timeline[:, :w] = self._ring.view().T
+        timeline[:, w:] = block.T
+        y_all = timeline - k[:, None]
+        ev = y_all[:, :m]           # evicted: C[t],     t = 0..m-1
+        en = y_all[:, w : w + m]    # entering: C[w+t]
+        # Signed contributions interleaved exactly as the scalar fold:
+        # (-evict_0, +enter_0, -evict_1, +enter_1, ...), prepended with
+        # the running sum; cumsum's last column is the folded result.
+        contrib = np.empty((4, self.n_rows, 2 * m + 1))
+
+        def fold(sums: np.ndarray, neg: np.ndarray, pos: np.ndarray, row: int):
+            c = contrib[row]
+            c[:, 0] = sums
+            c[:, 1::2] = -neg
+            c[:, 2::2] = pos
+            return np.cumsum(c, axis=1)[:, -1]
+
+        ev2 = ev * ev
+        ev3 = ev2 * ev
+        en2 = en * en
+        en3 = en2 * en
+        self._s1 = fold(self._s1, ev, en, 0)
+        self._s2 = fold(self._s2, ev2, en2, 1)
+        self._s3 = fold(self._s3, ev3, en3, 2)
+        self._s4 = fold(self._s4, ev3 * ev, en3 * en, 3)
+        # Lag products: eviction reads the next one / two values after
+        # the evicted one, entry reads the previous one / two.
+        self._p1 = fold(
+            self._p1, ev * y_all[:, 1 : m + 1], en * y_all[:, w - 1 : w + m - 1], 0
+        )
+        self._p2 = fold(
+            self._p2, ev * y_all[:, 2 : m + 2], en * y_all[:, w - 2 : w + m - 2], 1
+        )
+        # Turning indicators are integers: the m oldest entries of the
+        # (virtual) indicator timeline leave, m new ones enter — order-
+        # free exact arithmetic.
+        d1 = timeline[:, w - 1 : w + m - 1] - timeline[:, w - 2 : w + m - 2]
+        d2 = timeline[:, w : w + m] - timeline[:, w - 1 : w + m - 1]
+        indicators = ((d1 * d2) < 0).astype(np.int64)  # (n_rows, m)
+        turn_cap = w - 2
+        old_turns = self._turn.view().T  # (n_rows, turn_cap)
+        if m <= turn_cap:
+            evicted_turns = old_turns[:, :m].sum(axis=1)
+        else:
+            evicted_turns = old_turns.sum(axis=1) + indicators[
+                :, : m - turn_cap
+            ].sum(axis=1)
+        self._turn_count += indicators.sum(axis=1) - evicted_turns
+        self._turn.extend(indicators.T)
+        if self._hist_counts is not None:
+            first = self._hist_index(timeline[:, w - 1 : w + m - 1])
+            second = self._hist_index(timeline[:, w : w + m])
+            old_first = self._hist_index(timeline[:, :m])
+            old_second = self._hist_index(timeline[:, 1 : m + 1])
+            rows = np.arange(self.n_rows)[:, None]
+            np.add.at(self._hist_counts, (rows, first, second), 1)
+            np.subtract.at(self._hist_counts, (rows, old_first, old_second), 1)
+        self._ring.extend(block)
 
     def _refresh(self) -> None:
         """Recompute all sums from the buffer (bounds float drift)."""
@@ -255,7 +480,7 @@ class RollingWindowStats:
         return self._turn_count / (n - 2)
 
     def state_dict(self) -> Dict[str, Any]:
-        return {
+        state = {
             "ring": self._ring.state_dict(),
             "turn": self._turn.state_dict(),
             "k": self._k.copy(),
@@ -269,6 +494,13 @@ class RollingWindowStats:
             "since_refresh": self._since_refresh,
             "gen": self._gen,
         }
+        if self._hist_counts is not None:
+            # Sketch accumulator state: frozen edges + integer counts,
+            # so resume under any sketch profile is bit-for-bit.
+            state["hist_counts"] = self._hist_counts.copy()
+            state["hist_lo"] = self._hist_lo.copy()
+            state["hist_scale"] = self._hist_scale.copy()
+        return state
 
     def load_state_dict(self, state: Dict[str, Any]) -> None:
         self._ring.load_state_dict(state["ring"])
@@ -283,10 +515,23 @@ class RollingWindowStats:
         self._turn_count = np.asarray(state["turn_count"], dtype=np.int64).copy()
         self._since_refresh = int(state["since_refresh"])
         self._gen = int(state["gen"])
+        if "hist_counts" in state:
+            self._hist_counts = np.asarray(
+                state["hist_counts"], dtype=np.int64
+            ).copy()
+            self._hist_lo = np.asarray(state["hist_lo"], dtype=np.float64).copy()
+            self._hist_scale = np.asarray(
+                state["hist_scale"], dtype=np.float64
+            ).copy()
+        else:
+            self._hist_counts = None
+            self._hist_lo = None
+            self._hist_scale = None
         # Memo caches regenerate from the restored sums on first read —
         # bit-identical, so dropping them preserves equivalence.
         self._moment_cache = None
         self._acf_cache = None
+        self._hist_mi_cache = None
 
 
 class GapStats:
@@ -351,6 +596,18 @@ class GapStats:
         self._since_refresh += 1
         if self._since_refresh >= max(len(values), 8):
             self._refresh()
+
+    def push_many(self, values) -> None:
+        """Push a sequence of values (block-API completeness).
+
+        The refresh cadence depends on the running sequence length, and
+        the deque-based plain-float algebra is already cheaper than a
+        numpy round-trip for the short gap sequences this accumulator
+        sees — so this is a documented loop over :meth:`push`, not a
+        vectorised kernel (identical state evolution by construction).
+        """
+        for value in values:
+            self.push(float(value))
 
     def popleft(self) -> None:
         """Evict the oldest value (its error left the window)."""
@@ -551,6 +808,46 @@ class ErrorDistanceTracker:
             positions.popleft()
             if positions:
                 self.stats.popleft()
+
+    def push_many(self, errors: np.ndarray) -> None:
+        """Advance a block of observations in one event-driven replay.
+
+        Bit-for-bit identical to looping :meth:`push`: only error
+        arrivals and front evictions mutate state, so the replay visits
+        exactly those events in chronological order and skips the
+        error-free steps (the common case — errors are sparse once a
+        classifier converges).  Within a step the scalar path pushes the
+        new gap *before* running that step's evictions; position ``p``
+        evicts at the step with pre-increment time ``p + window_size``.
+        """
+        errors = np.asarray(errors, dtype=bool)
+        positions = self._positions
+        stats = self.stats
+        w = self.window_size
+        start = self._t
+        end = start + len(errors)
+        for k in np.flatnonzero(errors):
+            te = start + int(k)
+            # Evictions from the error-free steps since the last event:
+            # cumulative horizon through step te - 1 is te - w.
+            while positions and positions[0] < te - w:
+                positions.popleft()
+                if positions:
+                    stats.popleft()
+            if positions:
+                stats.push(float(te - positions[-1]))
+            positions.append(te)
+            # This step's own evictions (horizon te + 1 - w).
+            while positions and positions[0] < te + 1 - w:
+                positions.popleft()
+                if positions:
+                    stats.popleft()
+        # Trailing error-free steps through the end of the block.
+        while positions and positions[0] < end - w:
+            positions.popleft()
+            if positions:
+                stats.popleft()
+        self._t = end
 
     def gaps(self) -> np.ndarray:
         """The in-window error gaps (or the window-length fallback)."""

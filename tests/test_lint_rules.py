@@ -49,6 +49,7 @@ def rule_ids(report):
 def test_all_rule_families_registered():
     assert {
         "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+        "RPR007",
     } <= set(RULES.names())
 
 
@@ -642,6 +643,72 @@ def test_rpr006_out_of_scope_for_tests(tmp_path):
             """,
         },
         rules=["RPR006"],
+    )
+    assert rule_ids(report) == []
+
+
+# ----------------------------------------------------------------------
+# RPR007 — sketch accuracy declarations
+# ----------------------------------------------------------------------
+def test_rpr007_fires_on_undeclared_sketch(tmp_path):
+    report = lint_tree(
+        tmp_path,
+        {
+            "repro/metafeatures/sketchy.py": """
+                from repro.metafeatures.components import MetaFeature
+
+                class MysterySketch(MetaFeature):
+                    name = "mystery"
+                    exact = False
+
+                    def batch_scalar(self, seq):
+                        return 0.0
+            """,
+        },
+        rules=["RPR007"],
+    )
+    ids = rule_ids(report)
+    assert ids == ["RPR007", "RPR007"]
+    joined = "\n".join(f.message for f in report.findings)
+    assert "accuracy_knob" in joined
+    assert "exact_reference" in joined
+
+
+def test_rpr007_silent_on_declared_sketch_and_exact_components(tmp_path):
+    report = lint_tree(
+        tmp_path,
+        {
+            "repro/metafeatures/declared.py": """
+                from repro.metafeatures.components import MetaFeature
+
+                class DeclaredSketch(MetaFeature):
+                    name = "approx_mi"
+                    exact = False
+                    exact_reference = "mi"
+                    accuracy_knob = "fixed 4-bin histogram vs adaptive bins"
+
+                    def batch_scalar(self, seq):
+                        return 0.0
+
+                class InitDeclaredSketch(MetaFeature):
+                    exact = False
+                    accuracy_knob = "stride-2 decimation (sample fraction 0.5)"
+
+                    def __init__(self, mode):
+                        self.name = f"approx{mode}"
+                        self.exact_reference = f"exact{mode}"
+
+                    def batch_scalar(self, seq):
+                        return 0.0
+
+                class ExactComponent(MetaFeature):
+                    name = "plain"
+
+                    def batch_scalar(self, seq):
+                        return 0.0
+            """,
+        },
+        rules=["RPR007"],
     )
     assert rule_ids(report) == []
 

@@ -243,6 +243,114 @@ class TestGapStats:
         assert stats.acf(1) == 0.0
 
 
+class TestBlockPush:
+    """Block updates are bit-for-bit the scalar push loop."""
+
+    @given(
+        st.integers(0, 10_000),
+        st.integers(3, 25),
+        st.integers(1, 4),
+        st.lists(st.integers(1, 60), min_size=1, max_size=6),
+        st.floats(-1e3, 1e3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_push_many_matches_push_exactly(
+        self, seed, window, rows, chunk_sizes, offset
+    ):
+        """Arbitrary chunkings (warmup, refresh straddles, >w blocks)."""
+        rng = np.random.default_rng(seed)
+        scalar = RollingWindowStats(rows, window)
+        blocked = RollingWindowStats(rows, window)
+        for size in chunk_sizes:
+            chunk = rng.normal(loc=offset, scale=2.0, size=(size, rows))
+            for value in chunk:
+                scalar.push(value)
+            blocked.push_many(chunk)
+            for a, b in (
+                (scalar.means(), blocked.means()),
+                (scalar.stds(), blocked.stds()),
+                (scalar.skews(), blocked.skews()),
+                (scalar.kurtoses(), blocked.kurtoses()),
+                (scalar.acf(1), blocked.acf(1)),
+                (scalar.acf(2), blocked.acf(2)),
+                (scalar.pacf2(), blocked.pacf2()),
+                (scalar.turning_rates(), blocked.turning_rates()),
+            ):
+                np.testing.assert_array_equal(a, b)
+        assert scalar.count == blocked.count
+
+    @given(st.integers(0, 10_000), st.integers(5, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_push_many_histogram_matches_push(self, seed, window):
+        rng = np.random.default_rng(seed)
+        scalar = RollingWindowStats(2, window)
+        blocked = RollingWindowStats(2, window)
+        scalar.enable_histogram(4)
+        blocked.enable_histogram(4)
+        stream = rng.normal(size=(4 * window, 2))
+        for value in stream:
+            scalar.push(value)
+        blocked.push_many(stream[: window // 2])  # warmup split
+        blocked.push_many(stream[window // 2 :])
+        np.testing.assert_array_equal(
+            scalar._hist_counts, blocked._hist_counts
+        )
+        np.testing.assert_array_equal(
+            scalar.histogram_mi(), blocked.histogram_mi()
+        )
+
+    @given(st.integers(0, 10_000), st.integers(5, 40), st.floats(0.02, 0.7))
+    @settings(max_examples=60, deadline=None)
+    def test_error_tracker_push_many_matches_push(self, seed, window, rate):
+        rng = np.random.default_rng(seed)
+        errors = rng.random(5 * window) < rate
+        scalar = ErrorDistanceTracker(window)
+        blocked = ErrorDistanceTracker(window)
+        for is_err in errors:
+            scalar.push(bool(is_err))
+        mid = len(errors) // 3
+        blocked.push_many(errors[:mid])
+        blocked.push_many(errors[mid:])
+        np.testing.assert_array_equal(scalar.gaps(), blocked.gaps())
+        assert scalar.n_gaps == blocked.n_gaps
+        if scalar.n_gaps >= 1:
+            assert scalar.stats.values().tolist() == (
+                blocked.stats.values().tolist()
+            )
+            assert scalar.stats.mean() == blocked.stats.mean()
+            assert scalar.stats.acf(1) == blocked.stats.acf(1)
+
+    def test_gap_stats_push_many_matches_push(self, rng):
+        scalar = GapStats()
+        blocked = GapStats()
+        gaps = rng.integers(1, 30, size=50).astype(np.float64)
+        for g in gaps:
+            scalar.push(float(g))
+        blocked.push_many(gaps)
+        assert scalar.values().tolist() == blocked.values().tolist()
+        assert scalar.mean() == blocked.mean()
+        assert scalar.kurtosis() == blocked.kurtosis()
+
+    def test_pipeline_push_many_matches_push(self, rng):
+        """The chunk entry point: same state, same fingerprints."""
+        w, d = 20, 3
+        for source_set in ("all", "supervised", "unsupervised", "error_rate"):
+            a = FingerprintPipeline(d, source_set=source_set, window_size=w)
+            b = FingerprintPipeline(d, source_set=source_set, window_size=w)
+            xs = rng.normal(size=(3 * w, d))
+            ys = rng.integers(0, 2, size=3 * w)
+            ps = rng.integers(0, 2, size=3 * w)
+            for i in range(3 * w):
+                a.push(xs[i], int(ys[i]), int(ps[i]))
+            b.push_many(xs[:7], ys[:7], ps[:7])
+            b.push_many(xs[7:], ys[7:], ps[7:])
+            win_x, win_y, win_p = xs[-w:], ys[-w:], ps[-w:]
+            np.testing.assert_array_equal(
+                a.extract_incremental(win_x, win_y, win_p, None),
+                b.extract_incremental(win_x, win_y, win_p, None),
+            )
+
+
 class TestPipelineEquivalence:
     @pytest.mark.parametrize(
         "source_set", ["all", "supervised", "unsupervised", "error_rate"]
