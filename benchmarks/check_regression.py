@@ -94,6 +94,7 @@ def main(argv=None) -> int:
             "system_throughput",
             "selection_throughput",
             "forest_routing",
+            "repository_scale",
             "snapshot",
         ],
     )

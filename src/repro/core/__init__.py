@@ -18,6 +18,7 @@ from repro.core.repository import (
     Repository,
     RepositoryFullError,
 )
+from repro.core.store import ProjectionPrefilter, TieredConceptStore
 from repro.core.ficsum import Ficsum
 from repro.core.delayed_labels import DelayedLabelAdapter
 from repro.core.variants import (
@@ -37,6 +38,8 @@ __all__ = [
     "FingerprintMatrix",
     "Repository",
     "RepositoryFullError",
+    "ProjectionPrefilter",
+    "TieredConceptStore",
     "Ficsum",
     "DelayedLabelAdapter",
     "make_ficsum",

@@ -36,6 +36,7 @@ from repro.classifiers.base import Classifier
 from repro.core.config import FicsumConfig
 from repro.core.repository import ConceptState, Repository, rescale_record
 from repro.core.similarity import sim_fast, sim_pairs_many
+from repro.core.store import ProjectionPrefilter, TieredConceptStore
 from repro.core.weighting import make_weights
 from repro.detectors import Adwin
 from repro.metafeatures import FingerprintPipeline, WindowExtractionCache
@@ -111,6 +112,17 @@ class Ficsum(AdaptiveSystem):
         # every candidate's dependent dims in one call (gated off for
         # benchmarking the per-state fan-out).
         self._forest_routing = cfg.forest_routing
+        # Big-R selection layer: random-projection shortlist (approx
+        # mode) / lazily-gated exact walk (provable-exactness mode),
+        # plus an optionally attached warm/cold tier for evictions.
+        self._prefilter: Optional[ProjectionPrefilter] = (
+            ProjectionPrefilter(
+                self.n_dims, cfg.ann_projections, seed=cfg.seed
+            )
+            if cfg.ann_prefilter
+            else None
+        )
+        self._tier_store: Optional[TieredConceptStore] = None
         # Per-step memo of gated similarity records, keyed by everything
         # a re-expression reads: the state's record version, the
         # normaliser's range version and the weights version.
@@ -185,24 +197,57 @@ class Ficsum(AdaptiveSystem):
         """Wire a metrics collector and/or audit log into the framework.
 
         Also hooks :attr:`Repository.on_evict` so evictions are counted
-        and logged with the victim's id (the payload itself goes to any
-        tiering consumer stacked on the same hook by the caller).
+        and logged with the victim's id, chaining (not replacing) any
+        consumer already on the hook.  Without a tiered store the
+        eviction destroys the payload, so the drop itself is counted
+        (``repository.evicted_dropped``) and audited — silent concept
+        loss must be observable.
         """
         if metrics is not None:
             self.metrics = metrics
         if audit is not None:
             self.audit = audit
+        previous = self.repository.on_evict
 
         def _on_evict(state_id: int, payload: Dict[str, Any]) -> None:
             self.metrics.inc("repository.evictions")
+            dropped = self._tier_store is None
+            if dropped:
+                # The hook consumed the payload only to log it; the
+                # state itself is still destroyed.
+                self.repository.evicted_dropped += 1
+                self.metrics.inc("repository.evicted_dropped")
             self.audit.log(
                 "eviction",
                 self._step,
                 state_id=state_id,
                 last_active_step=int(payload["last_active_step"]),
+                dropped=dropped,
             )
+            if previous is not None:
+                previous(state_id, payload)
 
         self.repository.on_evict = _on_evict
+
+    def attach_tier_store(self, store: TieredConceptStore) -> None:
+        """Chain a warm/cold tier onto the repository's eviction hook.
+
+        Evicted states are serialized into the store's cold artifacts
+        instead of being destroyed; when the ANN prefilter is enabled,
+        cold concepts whose warm sketch makes a selection shortlist are
+        transparently rehydrated back into the repository.  Chains any
+        hook already attached (observability logging keeps running).
+        """
+        self._tier_store = store
+        previous = self.repository.on_evict
+
+        def _tier_evict(state_id: int, payload: Dict[str, Any]) -> None:
+            store.store(state_id, payload, step=self._step)
+            self.metrics.inc("repository.tiered")
+            if previous is not None:
+                previous(state_id, payload)
+
+        self.repository.on_evict = _tier_evict
 
     # ------------------------------------------------------------------
     def _new_detector(self) -> Adwin:
@@ -347,11 +392,31 @@ class Ficsum(AdaptiveSystem):
         if self._step % cfg.repository_period == 0 and self.window.full:
             with self.metrics.timer("phase.repository_step"):
                 self._repository_step()
+            if cfg.family_radius > 0.0:
+                self._compact_families()
         if self._pending_recheck is not None and self._step >= self._pending_recheck:
             self._pending_recheck = None
             if cfg.second_selection:
                 with self.metrics.timer("phase.second_selection"):
                     self._second_selection()
+
+    def _compact_families(self) -> None:
+        """Periodic family merging (``family_radius`` > 0).
+
+        Runs at repository-maintenance checkpoints; the active concept
+        is never absorbed (it may absorb others).  Merges are audited —
+        the absorbed repertoire is observable, not silently gone.
+        """
+        merged = self.repository.compact_families(
+            self.config.family_radius, protect=(self._active.state_id,)
+        )
+        for kept, absorbed in merged:
+            self.metrics.inc("repository.family_merges")
+            self.audit.log(
+                "family_merge", self._step, kept=kept, absorbed=absorbed
+            )
+            if self._prefilter is not None:
+                self._prefilter.forget(absorbed)
 
     def signal_drift(self) -> None:
         """Oracle drift notification (perfect-detection experiment)."""
@@ -782,10 +847,97 @@ class Ficsum(AdaptiveSystem):
         with self.metrics.timer("selection.latency"):
             xa, ya, _ = self.window.arrays()
             candidates = self._candidate_states()
+            if self._prefilter is not None:
+                candidates = self._prefilter_candidates(xa, ya, candidates)
             if not candidates:
                 return None
             fps = self._stack_window_fingerprints(xa, ya, candidates)
             return self._select_from_fingerprints(candidates, fps)
+
+    def _prefilter_candidates(
+        self, xa: np.ndarray, ya: np.ndarray, candidates: List[ConceptState]
+    ) -> List[ConceptState]:
+        """Big-R candidate staging: rehydration plus optional shortlist.
+
+        With a tiered store attached, cold concepts whose warm sketch
+        would make the shortlist are first rehydrated into the
+        repository (so they compete in this very selection).  In
+        provable-exactness mode (``ann_exact``) the candidate list then
+        passes through unchanged — exactness lives in the ordered gate
+        walk of :meth:`_select_exact_ordered`.  In approximate mode the
+        list is cut to the ``ann_shortlist_k`` sketch-nearest
+        candidates *before* any per-candidate window fingerprinting —
+        skipping that extraction is where the large-R speedup comes
+        from — returned in repository order so downstream tie-breaking
+        matches the full scan's.
+        """
+        cfg = self.config
+        query: Optional[np.ndarray] = None
+        if self._tier_store is not None and len(self._tier_store):
+            query = self._window_fingerprint(xa, ya, self._active)
+            if self._rehydrate_from_tier(candidates, query):
+                candidates = self._candidate_states()
+        if cfg.ann_exact or len(candidates) <= cfg.ann_shortlist_k:
+            return candidates
+        if query is None:
+            query = self._window_fingerprint(xa, ya, self._active)
+        keep = self._prefilter.shortlist(candidates, query, cfg.ann_shortlist_k)
+        self.metrics.inc(
+            "selection.prefiltered", len(candidates) - len(keep)
+        )
+        return [candidates[i] for i in keep]
+
+    def _rehydrate_from_tier(
+        self, candidates: List[ConceptState], query: np.ndarray
+    ) -> int:
+        """Admit cold concepts whose sketch makes the combined shortlist.
+
+        Hot candidates and warm (cold-tier) entries are sketch-scored
+        together; warm entries landing in the top ``ann_shortlist_k``
+        are loaded from their manifest-verified artifacts (corruption
+        raises :class:`~repro.serving.manifest.SnapshotError` — never a
+        silently missing concept) and re-admitted under eviction
+        protection for this selection.  Returns the number admitted.
+        """
+        store, prefilter = self._tier_store, self._prefilter
+        ids, means = store.warm_entries()
+        if not ids:
+            return 0
+        query_sketch = prefilter.sketch(query)
+        hot = (
+            prefilter.scores(prefilter.state_sketches(candidates), query_sketch)
+            if candidates
+            else np.empty(0)
+        )
+        warm = prefilter.scores(prefilter.sketch_rows(means), query_sketch)
+        combined = np.concatenate([hot, warm])
+        k = min(self.config.ann_shortlist_k, len(combined))
+        if k < len(combined):
+            top = np.argpartition(-combined, k - 1)[:k]
+        else:
+            top = np.arange(len(combined))
+        admitted = 0
+        protect = {self._active.state_id}
+        for j in sorted(int(t) for t in top):
+            if j < len(hot):
+                continue
+            if len(protect) >= self.repository.max_size:
+                # Every admission this selection stays protected, and
+                # the repository cannot hold more protected concepts
+                # than its capacity — admitting further shortlisted
+                # cold states would leave nothing evictable.  They
+                # stay warm and compete again next selection.
+                break
+            sid = int(ids[j - len(hot)])
+            state = store.load(sid)
+            store.forget(sid)
+            self.repository.admit(state, protect=protect)
+            protect.add(sid)
+            store.rehydrated += 1
+            admitted += 1
+            self.metrics.inc("tier.rehydrated")
+            self.audit.log("rehydration", self._step, state_id=sid)
+        return admitted
 
     def _stack_window_fingerprints(
         self, xa: np.ndarray, ya: np.ndarray, states: List[ConceptState]
@@ -836,6 +988,8 @@ class Ficsum(AdaptiveSystem):
         """
         cfg = self.config
         if self._vectorized and self.normalizer.contains(fps):
+            if self._prefilter is not None and cfg.ann_exact:
+                return self._select_exact_ordered(states, fps)
             sims, accepted = self._score_candidates(states, fps)
             if not accepted.any():
                 return None
@@ -851,6 +1005,39 @@ class Ficsum(AdaptiveSystem):
                 if best is None or sim > best[0]:
                     best = (sim, state)
         return best[1] if best else None
+
+    def _select_exact_ordered(
+        self, states: List[ConceptState], fps: np.ndarray
+    ) -> Optional[ConceptState]:
+        """Provable-exactness selection: lazy gates, exact argmax.
+
+        The winner of the full scan is the argmax of exact similarity
+        over *accepted* candidates (``np.argmax`` first-index
+        tie-break).  Walking candidates in a stable descending-
+        similarity order (ties fall back to ascending index — the same
+        order ``argmax`` prefers) and returning the first acceptor is
+        therefore bit-for-bit identical: no candidate visited later can
+        beat an already-accepted similarity.  The shortlist score bound
+        of the provable mode is exactly this — similarities are
+        computed for everyone with the same batched kernel as the full
+        scan, but the expensive acceptance gates (record re-expression
+        and the error gate) are evaluated lazily, usually only for the
+        top of the ranking.
+        """
+        cfg = self.config
+        matrix = self.repository.matrix()
+        rows = [matrix.row_of(s.state_id) for s in states]
+        scaled_means = self.normalizer.scale_many(matrix.fp_means_view[rows])
+        scaled_fps = self.normalizer.scale_many(fps)
+        sims = sim_pairs_many(scaled_means, scaled_fps, self._weights)
+        for i in np.argsort(-sims, kind="stable"):
+            state = states[i]
+            mu, sigma = self._gated_record(state)
+            if abs(float(sims[i]) - mu) <= cfg.similarity_gate * sigma and (
+                self._error_gate(state, fps[i])
+            ):
+                return state
+        return None
 
     def _score_candidates(
         self, states: List[ConceptState], fps: np.ndarray
@@ -1144,6 +1331,10 @@ class Ficsum(AdaptiveSystem):
         self._gated_cache_step = -1
         if self._extract_cache is not None:
             self._extract_cache.invalidate()
+        if self._prefilter is not None:
+            # Sketches rebuild on demand from the restored fingerprint
+            # versions; stale cross-object entries must not survive.
+            self._prefilter.clear()
 
     def __repr__(self) -> str:
         return (

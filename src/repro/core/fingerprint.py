@@ -63,6 +63,14 @@ class ConceptFingerprint:
         """Forget classifier-dependent dimensions (plasticity, §IV)."""
         self._stats.reset_dims(mask)
 
+    def merge(self, other: "ConceptFingerprint") -> None:
+        """Fold another concept fingerprint into this one (family merge).
+
+        The result summarises the union of both incorporation histories
+        exactly (Chan-combined Welford moments per dimension).
+        """
+        self._stats.merge(other._stats)
+
     def copy(self) -> "ConceptFingerprint":
         clone = ConceptFingerprint(self.n_dims)
         clone._stats = self._stats.copy()

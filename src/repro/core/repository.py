@@ -37,6 +37,7 @@ import numpy as np
 from repro.classifiers.bank import ClassifierBank
 from repro.classifiers.base import Classifier
 from repro.core.fingerprint import ConceptFingerprint
+from repro.core.similarity import weighted_cosine_many
 from repro.utils.stats import EwmaStats
 
 SimFn = Callable[[np.ndarray, np.ndarray], float]
@@ -185,6 +186,9 @@ class ConceptState:
         # re-expressions of the record key on it.
         self.record_version = 0
         self.last_active_step = 0
+        # Concepts folded into this state as a family (self included):
+        # 1 for a standalone concept, grows via :meth:`absorb`.
+        self.family_size = 1
 
     def record_similarity(
         self, concept_means: np.ndarray, window_fp: np.ndarray, sim: float
@@ -216,6 +220,25 @@ class ConceptState:
         self.record_version += 1
         self.sim_stats = EwmaStats(alpha=self.sim_record_decay)
 
+    def absorb(self, other: "ConceptState") -> None:
+        """Fold another concept into this one as a family member.
+
+        The representative keeps its classifier and retained pairs (a
+        family serves one model); the distributional records merge so
+        the family still describes the pooled behaviour — fingerprint
+        moments Chan-combine exactly, the similarity/error records take
+        the count-weighted fold, and counters/recency take the union.
+        """
+        self.record_version += 1
+        self.fingerprint.merge(other.fingerprint)
+        self.nonactive.merge(other.nonactive)
+        self.sim_stats.merge(other.sim_stats)
+        self.error_stats.merge(other.error_stats)
+        self.family_size += other.family_size
+        self.last_active_step = max(
+            self.last_active_step, other.last_active_step
+        )
+
     def state_dict(self) -> Dict[str, Any]:
         """Complete serialized form of the stored concept.
 
@@ -233,6 +256,7 @@ class ConceptState:
             "sim_pairs": self.sim_pairs.state_dict(),
             "record_version": self.record_version,
             "last_active_step": self.last_active_step,
+            "family_size": self.family_size,
         }
 
     def load_state_dict(self, state: Dict[str, Any]) -> None:
@@ -246,6 +270,8 @@ class ConceptState:
         self.sim_pairs.load_state_dict(state["sim_pairs"])
         self.record_version = int(state["record_version"])
         self.last_active_step = int(state["last_active_step"])
+        # Pre-family snapshots keep loading: absent key means standalone.
+        self.family_size = int(state.get("family_size", 1))
 
     @classmethod
     def from_state_dict(cls, state: Dict[str, Any]) -> "ConceptState":
@@ -432,6 +458,11 @@ class Repository:
         #: consumers (audit logs, warm/cold tiers) receive the state
         #: instead of it being silently destroyed.
         self.on_evict: Optional[Callable[[int, Dict[str, Any]], None]] = None
+        #: Evictions whose payload had no consumer: with no ``on_evict``
+        #: hook attached the serialized state is destroyed outright.
+        #: Counted (and surfaced through metrics/audit by the framework)
+        #: so silent concept loss is observable instead of invisible.
+        self.evicted_dropped = 0
 
     def new_state(
         self,
@@ -485,7 +516,83 @@ class Repository:
             victim = min(evictable, key=lambda s: s.last_active_step)
             if self.on_evict is not None:
                 self.on_evict(victim.state_id, victim.state_dict())
+            else:
+                self.evicted_dropped += 1
             self._drop(victim.state_id)
+
+    def admit(
+        self, state: ConceptState, protect: Iterable[int] = ()
+    ) -> ConceptState:
+        """Re-insert a previously evicted (rehydrated) concept state.
+
+        The state keeps its original id — ``_next_id`` is pushed past
+        it so future ids never collide — and the mirrors are updated
+        write-through exactly as in :meth:`new_state`.  The insertion
+        may itself trigger an eviction, never of the admitted state or
+        of ``protect``.
+        """
+        if state.state_id in self._states:
+            raise ValueError(f"state {state.state_id} is already stored")
+        self._states[state.state_id] = state
+        self._next_id = max(self._next_id, state.state_id + 1)
+        self._states_list = None
+        if self._matrix is not None:
+            if self._matrix.n_dims == state.fingerprint.n_dims:
+                self._matrix.add(state)
+            else:
+                self._matrix = None
+        if self._bank is not None:
+            if ClassifierBank.supports(state.classifier):
+                self._bank.add(state.state_id, state.classifier)
+            else:
+                self._bank = None
+        self._evict_if_needed(protect={state.state_id, *protect})
+        return state
+
+    def compact_families(
+        self, radius: float, protect: Iterable[int] = ()
+    ) -> List[Tuple[int, int]]:
+        """Merge near-duplicate concepts into family representatives.
+
+        Walks stored states in insertion order: a state whose raw
+        fingerprint-mean cosine against an earlier surviving state (the
+        family *representative*) reaches ``radius`` is absorbed into it
+        via :meth:`ConceptState.absorb` and dropped, so repertoire
+        growth saturates at the number of genuinely distinct concepts
+        instead of exploding.  States in ``protect`` (the active
+        concept) and states with fewer than two incorporated
+        fingerprints are never absorbed; univariate fingerprints are
+        skipped entirely (scalar cosine is degenerate).  Returns the
+        ``(kept_id, absorbed_id)`` pairs, in merge order.
+        """
+        if not 0.0 < radius <= 1.0:
+            raise ValueError(f"radius must be in (0, 1], got {radius}")
+        protected = set(protect)
+        merged: List[Tuple[int, int]] = []
+        reps: List[ConceptState] = []
+        rep_means: List[np.ndarray] = []
+        for state in list(self.states()):
+            if state.fingerprint.n_dims == 1:
+                return merged
+            eligible = (
+                state.state_id not in protected
+                and state.fingerprint.count >= 2
+            )
+            if eligible and reps:
+                sims = weighted_cosine_many(
+                    np.array(rep_means), state.fingerprint.means
+                )
+                best = int(np.argmax(sims))
+                if sims[best] >= radius:
+                    rep = reps[best]
+                    rep.absorb(state)
+                    rep_means[best] = rep.fingerprint.means.copy()
+                    self._drop(state.state_id)
+                    merged.append((rep.state_id, state.state_id))
+                    continue
+            reps.append(state)
+            rep_means.append(state.fingerprint.means.copy())
+        return merged
 
     def _drop(self, state_id: int) -> None:
         self._states.pop(state_id, None)
@@ -572,12 +679,15 @@ class Repository:
         return {
             "max_size": self.max_size,
             "next_id": self._next_id,
+            "evicted_dropped": self.evicted_dropped,
             "states": [s.state_dict() for s in self._states.values()],
         }
 
     def load_state_dict(self, state: Dict[str, Any]) -> None:
         self.max_size = int(state["max_size"])
         self._next_id = int(state["next_id"])
+        # Pre-tiering snapshots lack the counter: nothing was tracked.
+        self.evicted_dropped = int(state.get("evicted_dropped", 0))
         self._states = {}
         for concept_state in state["states"]:
             concept = ConceptState.from_state_dict(concept_state)

@@ -156,6 +156,30 @@ class EwmaStats:
         self.mean = 0.0
         self._var = 0.0
 
+    def merge(self, other: "EwmaStats") -> None:
+        """Count-weighted fold of another record into this one.
+
+        Used when two concepts collapse into one family: the exact
+        exponential weighting of the interleaved update sequence is
+        unrecoverable, so the family record takes the count-weighted
+        mixture mean and the law-of-total-variance spread — the moments
+        the two records would report about their pooled history.
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self._var = other.count, other.mean, other._var
+            return
+        total = self.count + other.count
+        wa = self.count / total
+        wb = other.count / total
+        mean = wa * self.mean + wb * other.mean
+        self._var = wa * (self._var + (self.mean - mean) ** 2) + wb * (
+            other._var + (other.mean - mean) ** 2
+        )
+        self.mean = mean
+        self.count = total
+
     def state_dict(self) -> Dict[str, Any]:
         return {
             "alpha": self.alpha,
@@ -252,6 +276,30 @@ class OnlineVectorStats:
         clone._m2 = self._m2.copy()
         clone.version = self.version
         return clone
+
+    def merge(self, other: "OnlineVectorStats") -> None:
+        """Combine another accumulator into this one, per dimension.
+
+        Chan et al.'s parallel Welford combine (the vector analogue of
+        :meth:`OnlineStats.merge`): the result holds exactly the
+        mean/m2/count the pooled observation history would produce, so
+        folding a concept into a family representative preserves the
+        fingerprint moments of both members.
+        """
+        if other.n_dims != self.n_dims:
+            raise ValueError(
+                f"cannot merge {other.n_dims}-dim stats into {self.n_dims}-dim"
+            )
+        self.version += 1
+        total = self.counts + other.counts
+        mask = total > 0
+        delta = other.means - self.means
+        self._m2[mask] += (
+            other._m2[mask]
+            + delta[mask] ** 2 * self.counts[mask] * other.counts[mask] / total[mask]
+        )
+        self.means[mask] += delta[mask] * other.counts[mask] / total[mask]
+        self.counts = total
 
     def state_dict(self) -> Dict[str, Any]:
         return {

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from equivalence import run_config
+from equivalence import run_config, run_config_observed
 
 from repro.classifiers import HoeffdingTree, MajorityClass
 from repro.core.repository import Repository, RepositoryFullError
@@ -120,6 +120,60 @@ class TestProtectSemantics:
         assert states[0].state_id in surviving  # refreshed, kept
         assert states[1].state_id not in surviving
         assert states[2].state_id not in surviving
+
+
+class TestEvictedDroppedAccounting:
+    """Evictions that destroy their payload are counted, never silent.
+
+    Regression for the original ``_evict_if_needed``, which threw the
+    victim's serialized payload away without a trace whenever no
+    ``on_evict`` consumer was attached.
+    """
+
+    def test_bare_eviction_counts_the_drop(self):
+        repo = Repository(max_size=1)
+        assert repo.evicted_dropped == 0
+        for step in range(1, 4):
+            repo.new_state(2, MajorityClass(2), step=step)
+        assert repo.evicted_dropped == 2
+
+    def test_hooked_eviction_is_not_a_drop(self):
+        """A consumer on ``on_evict`` received the payload — the
+        repository itself no longer counts the eviction as destroyed
+        (the consumer decides, e.g. observability vs a tiered store)."""
+        repo = Repository(max_size=1)
+        payloads = []
+        repo.on_evict = lambda sid, payload: payloads.append(sid)
+        for step in range(1, 4):
+            repo.new_state(2, MajorityClass(2), step=step)
+        assert len(payloads) == 2
+        assert repo.evicted_dropped == 0
+
+    def test_drop_counter_survives_checkpoint(self):
+        repo = Repository(max_size=1)
+        for step in range(1, 4):
+            repo.new_state(2, MajorityClass(2), step=step)
+        restored = Repository(1)
+        restored.load_state_dict(repo.state_dict())
+        assert restored.evicted_dropped == 2
+        # Pre-counter payloads (no key) default to zero drops.
+        legacy = repo.state_dict()
+        del legacy["evicted_dropped"]
+        fresh = Repository(1)
+        fresh.load_state_dict(legacy)
+        assert fresh.evicted_dropped == 0
+
+    def test_observed_run_counts_drops_without_tier_store(self):
+        """Without a tiered store every observed eviction is a drop:
+        the metrics counter and the repository's own tally agree."""
+        trace, collector = run_config_observed({"max_repository_size": 2})
+        system = trace.system
+        evictions = collector.counters.get("repository.evictions", 0)
+        assert evictions > 0, "scenario must evict"
+        assert system.repository.evicted_dropped == evictions
+        assert (
+            collector.counters["repository.evicted_dropped"] == evictions
+        )
 
 
 class TestMirrorAlignmentAfterCompaction:
